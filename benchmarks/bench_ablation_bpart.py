@@ -1,0 +1,10 @@
+"""Ablations — weighting factor c, combine rounds, stream order.
+
+Design-choice sweeps called out in DESIGN.md: c=1/2 balances both
+dimensions; 2-3 combine rounds absorb hub outliers.
+"""
+
+
+def test_ablation(run_paper_experiment):
+    result = run_paper_experiment("ablation")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""§3.3 — inter-piece edge connectivity at 64 pieces (Friendster).
+
+Minimum pairwise arc count between the 64 weighted pieces stays far
+above zero, so combining never disconnects a subgraph.
+"""
+
+
+def test_connectivity(run_paper_experiment):
+    result = run_paper_experiment("connectivity")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 3 — per-subgraph |V|/|E| ratios (Twitter, 4 parts).
+
+Chunk-V and Fennel balance vertices while edges gap up to 8x;
+Chunk-E balances edges while vertices gap up to 13x.
+"""
+
+
+def test_fig03(run_paper_experiment):
+    result = run_paper_experiment("fig03")
+    assert result.tables or result.series

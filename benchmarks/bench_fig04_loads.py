@@ -1,0 +1,10 @@
+"""Figure 4 — per-machine computing load per iteration.
+
+5|V| random walks x 4 steps on Twitter, 4 machines: the walker-step
+load per machine per iteration, highly imbalanced for 1-D schemes.
+"""
+
+
+def test_fig04(run_paper_experiment):
+    result = run_paper_experiment("fig04")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 5 — edge cuts and total message walks (Twitter, 8 parts).
+
+Cut ratios per partitioner plus the number of transmitted walkers
+for the canonical walk job; Chunk-E/Hash ~90% cuts, >2x Fennel's messages.
+"""
+
+
+def test_fig05(run_paper_experiment):
+    result = run_paper_experiment("fig05")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 6 — piece-size skew at 64 subgraphs (Chunk-V / Chunk-E).
+
+The motivating observation: balancing one dimension leaves the other
+highly skewed on scale-free graphs.
+"""
+
+
+def test_fig06(run_paper_experiment):
+    result = run_paper_experiment("fig06")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 8 — weighted-policy piece distributions (64 pieces).
+
+BPart phase 1 with c=1/2: reduced skew and inversely proportional
+|Vi| / |Ei| distributions (strongly negative correlation).
+"""
+
+
+def test_fig08(run_paper_experiment):
+    result = run_paper_experiment("fig08")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 10 — bias scatter, 3 graphs x {4,8,16} parts.
+
+(vertex bias, edge bias) per algorithm and k; BPart stays < 0.1 in
+both dimensions while 1-D algorithms reach multi-x bias.
+"""
+
+
+def test_fig10(run_paper_experiment):
+    result = run_paper_experiment("fig10")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 11 — Jain's fairness vs number of subgraphs.
+
+k in {8..128} on Twitter; BPart's fairness stays ~1.0 in both
+dimensions at every scale.
+"""
+
+
+def test_fig11(run_paper_experiment):
+    result = run_paper_experiment("fig11")
+    assert result.tables or result.series

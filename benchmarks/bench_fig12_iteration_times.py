@@ -1,0 +1,10 @@
+"""Figure 12 — per-machine compute seconds per iteration (Friendster).
+
+Simulated per-iteration compute time on 8 machines; 1-D schemes gap
+widely every iteration, BPart is flat.
+"""
+
+
+def test_fig12(run_paper_experiment):
+    result = run_paper_experiment("fig12")
+    assert result.tables or result.series

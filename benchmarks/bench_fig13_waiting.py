@@ -1,0 +1,10 @@
+"""Figure 13 — waiting-time ratio at 4 and 8 machines.
+
+Fraction of machine-time spent at BSP barriers; 1-D schemes reach
+~40-70%, BPart ~2-20%.
+"""
+
+
+def test_fig13(run_paper_experiment):
+    result = run_paper_experiment("fig13")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Figure 14 — normalized running time of the 7 applications.
+
+All seven apps x three datasets x five partitioners, normalized to
+Chunk-V = 1; BPart lowest everywhere (paper: 5-70% reduction).
+"""
+
+
+def test_fig14(run_paper_experiment):
+    result = run_paper_experiment("fig14")
+    assert result.tables or result.series

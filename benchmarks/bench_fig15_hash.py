@@ -1,0 +1,10 @@
+"""Figure 15 — Hash vs BPart normalized computation time.
+
+Both 2-D balanced; the gap isolates the edge-cut effect (paper:
+5-20% on walks, 20-35% on PageRank/CC).
+"""
+
+
+def test_fig15(run_paper_experiment):
+    result = run_paper_experiment("fig15")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""§4.2 — offline multilevel (Mt-KaHIP-style) and GD comparison.
+
+Offline vertex-balanced partitioning leaves edges imbalanced
+(paper: edge bias 0.70-2.59 at vertex bias 0.03).
+"""
+
+
+def test_multilevel(run_paper_experiment):
+    result = run_paper_experiment("multilevel")
+    assert result.tables or result.series

@@ -1,0 +1,11 @@
+"""Extension — metric stability across dataset scales.
+
+Sweeps the Twitter stand-in over an order of magnitude of sizes and
+reports the metrics every reproduced figure relies on; flat columns
+justify the scaled-dataset substitution recorded in DESIGN.md §2.
+"""
+
+
+def test_scaling(run_paper_experiment):
+    result = run_paper_experiment("scaling")
+    assert result.tables or result.series

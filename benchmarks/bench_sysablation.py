@@ -1,0 +1,11 @@
+"""Extension ablations — re-streaming passes, comm/compute overlap, and
+heterogeneous (straggler) machines.
+
+System-level design sweeps beyond the paper's evaluation; see
+DESIGN.md's ablation index.
+"""
+
+
+def test_sysablation(run_paper_experiment):
+    result = run_paper_experiment("sysablation")
+    assert result.tables or result.series

@@ -1,0 +1,10 @@
+"""Table 2 — partition wall-clock overhead (k = 8).
+
+Ordering Chunk-V ~ Chunk-E << Hash < Fennel < BPart; BPart's extra
+cost is the multi-layer combination.
+"""
+
+
+def test_table2(run_paper_experiment):
+    result = run_paper_experiment("table2")
+    assert result.tables or result.series

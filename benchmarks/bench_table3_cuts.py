@@ -1,0 +1,10 @@
+"""Table 3 — edge-cut ratios, measured vs paper (k = 8).
+
+Five partitioners x three datasets; shape Fennel < BPart < Hash ~
+Chunk-E, with Hash pinned at (k-1)/k.
+"""
+
+
+def test_table3(run_paper_experiment):
+    result = run_paper_experiment("table3")
+    assert result.tables or result.series

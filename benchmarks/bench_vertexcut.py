@@ -1,0 +1,11 @@
+"""Extension — vertex-cut partitioner family vs BPart (related work §5).
+
+Replication factor (HDRF < DBH < grid < random) and edge balance for
+the PowerGraph-family edge partitioners, against BPart's edge-cut
+numbers on the same graphs.
+"""
+
+
+def test_vertexcut(run_paper_experiment):
+    result = run_paper_experiment("vertexcut")
+    assert result.tables or result.series

@@ -1,0 +1,50 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs one paper experiment once (``pedantic`` with a
+single round — the experiments are deterministic end-to-end jobs, not
+microbenchmarks) and prints the same rows/series the paper reports.
+
+Scale defaults to 0.5 (≈ 8k–16k vertices per dataset) so the whole
+suite finishes in minutes; set ``REPRO_BENCH_SCALE`` to grow it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "1")),
+    )
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark, bench_config):
+    """Run one experiment under pytest-benchmark, print its report, and
+    persist the rendered rows to ``benchmarks/reports/<id>.txt`` (pytest
+    captures stdout, so the file is the durable artifact)."""
+
+    def _run(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id, bench_config), rounds=1, iterations=1
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        reports = Path(__file__).parent / "reports"
+        reports.mkdir(exist_ok=True)
+        (reports / f"{experiment_id}.txt").write_text(
+            f"scale={bench_config.scale} seed={bench_config.seed}\n\n{rendered}\n",
+            encoding="utf-8",
+        )
+        return result
+
+    return _run

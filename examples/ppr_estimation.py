@@ -1,0 +1,79 @@
+"""Monte-Carlo personalized PageRank on the simulated cluster.
+
+The PPR application (§4.1) is not just a benchmark: the visit
+frequencies of many α-terminated walks from a seed *estimate the
+seed's PPR vector* (Fogaras et al., 2005). This example runs the
+estimator on the KnightKing-like engine with visit tracking, computes
+the exact PPR vector by power iteration, and reports the estimation
+quality — demonstrating that the distributed simulation preserves
+numerical semantics end-to-end.
+
+Usage::
+
+    python examples/ppr_estimation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graph, partition
+from repro.cluster import BSPCluster
+from repro.engines.knightking import PPR, WalkEngine
+
+
+def exact_ppr(g, seed_vertex: int, alpha: float, iterations: int = 200) -> np.ndarray:
+    """Power-iteration PPR: p = α·e_s + (1 − α)·P^T p."""
+    n = g.num_vertices
+    deg = np.maximum(g.degrees, 1)
+    p = np.zeros(n)
+    p[seed_vertex] = 1.0
+    from repro.engines.gemini.vertex_program import neighbor_sum
+
+    for _ in range(iterations):
+        contrib = p / deg
+        spread = neighbor_sum(g, contrib)
+        new = (1 - alpha) * spread
+        new[seed_vertex] += alpha * 1.0 + (1 - alpha) * p[g.degrees == 0].sum()
+        if np.abs(new - p).sum() < 1e-12:
+            p = new
+            break
+        p = new
+    return p / p.sum()
+
+
+def main() -> None:
+    alpha = 0.15
+    seed_vertex = 0
+    g = graph.livejournal_like(scale=0.2, seed=13)
+    a = partition.get_partitioner("bpart", seed=13).partition(g, 4).assignment
+    print(f"graph: {graph.summarize(g)}; seed vertex {seed_vertex}\n")
+
+    truth = exact_ppr(g, seed_vertex, alpha)
+    top_true = np.argsort(-truth)[:20]
+
+    for num_walks in (1_000, 10_000, 100_000):
+        engine = WalkEngine(BSPCluster(4), seed=99, track_visits=True)
+        starts = np.full(num_walks, seed_vertex, dtype=np.int64)
+        res = engine.run(
+            g,
+            a,
+            PPR(stop_prob=alpha),
+            start_vertices=starts,
+            max_steps=100,
+        )
+        estimate = res.visit_counts / res.visit_counts.sum()
+        top_est = np.argsort(-estimate)[:20]
+        overlap = len(set(top_true.tolist()) & set(top_est.tolist()))
+        l1 = np.abs(estimate - truth).sum()
+        print(
+            f"walks={num_walks:>7,}  L1 error={l1:.4f}  "
+            f"top-20 overlap={overlap}/20  supersteps={res.num_supersteps}"
+        )
+
+    print("\nestimate converges to the exact PPR vector as walks grow —")
+    print("the partition changes only the timing ledger, never the answer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of BPart (ICPP 2022).
+
+Two-dimensional balanced graph partitioning, the baselines it is
+evaluated against, and simulated Gemini/KnightKing distributed engines
+for running the paper's seven applications.
+
+Quickstart::
+
+    from repro import graph, partition
+    g = graph.twitter_like(scale=0.5, seed=1)
+    result = partition.get_partitioner("bpart").partition(g, 8)
+    print(partition.balance_report(result.assignment))
+"""
+
+from repro import bench, cluster, engines, errors, graph, partition, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "cluster",
+    "engines",
+    "errors",
+    "graph",
+    "partition",
+    "utils",
+    "__version__",
+]

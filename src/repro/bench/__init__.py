@@ -1,0 +1,42 @@
+"""Benchmark harness: experiment registry, canonical workloads, reports."""
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    available_experiments,
+    experiment_description,
+    register_experiment,
+    run_experiment,
+)
+from repro.bench.claims import Claim, ClaimResult, all_claims, check_claims
+from repro.bench.report import BarChart, Series, Table
+from repro.bench.workloads import (
+    ALL_APPS,
+    PAPER_PARTITIONERS,
+    AppRun,
+    make_partitioners,
+    run_app,
+    run_walk_job,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "available_experiments",
+    "experiment_description",
+    "register_experiment",
+    "run_experiment",
+    "BarChart",
+    "Claim",
+    "ClaimResult",
+    "all_claims",
+    "check_claims",
+    "Series",
+    "Table",
+    "ALL_APPS",
+    "PAPER_PARTITIONERS",
+    "AppRun",
+    "make_partitioners",
+    "run_app",
+    "run_walk_job",
+]

@@ -1,0 +1,25 @@
+"""Shared helpers for experiment modules."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.partition.base import PartitionResult, get_partitioner
+
+__all__ = ["DATASET_ORDER", "graph_for", "partition_with"]
+
+#: presentation order used by the paper's tables.
+DATASET_ORDER = ("livejournal", "twitter", "friendster")
+
+
+def graph_for(config: ExperimentConfig, dataset: str) -> CSRGraph:
+    """Load a stand-in dataset at the experiment's scale and seed."""
+    return load_dataset(dataset, scale=config.scale, seed=config.seed)
+
+
+def partition_with(
+    name: str, graph: CSRGraph, num_parts: int, seed: int = 0, **kwargs
+) -> PartitionResult:
+    """Partition ``graph`` with the named algorithm."""
+    return get_partitioner(name, seed=seed, **kwargs).partition(graph, num_parts)

@@ -1,0 +1,73 @@
+"""Ablations over BPart's design choices (DESIGN.md §4).
+
+Three sweeps on Twitter at k = 8:
+
+1. **Weighting factor c** — c = 1 degenerates to Fennel (vertex-only
+   balance), c = 0 to pure edge balance; the paper's empirical default
+   is ½. The sweep shows why: both biases stay low only in the middle.
+2. **Combine rounds** — 1 round (the paper's Figure 9 baseline) cannot
+   absorb a hub-dominated outlier piece; 2–3 rounds can ("two or three
+   rounds of combinations" per §3.3).
+3. **Stream order** — streaming partitioners depend on the vertex
+   stream; BPart's combining phase makes it robust across orders.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import graph_for
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+from repro.partition.bpart import BPartPartitioner
+from repro.partition.metrics import bias, edge_cut_ratio
+
+K = 8
+
+
+@register_experiment("ablation", "BPart ablations: c, combine rounds, stream order")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    g = graph_for(config, "twitter")
+    result = ExperimentResult("ablation", "BPart ablations: c, combine rounds, stream order")
+
+    t1 = Table(
+        "Weighting factor c (Eq. 1)",
+        ["c", "vertex bias", "edge bias", "cut ratio"],
+        note="c=1 ~ Fennel-style vertex balance, c=0 pure edge balance; c=1/2 balances both",
+    )
+    for c in (0.0, 0.25, 0.5, 0.75, 1.0):
+        a = BPartPartitioner(c=c, seed=config.seed).partition(g, K).assignment
+        t1.add_row(c, bias(a.vertex_counts), bias(a.edge_counts), edge_cut_ratio(g, a.parts))
+        result.data[("c", c)] = (bias(a.vertex_counts), bias(a.edge_counts))
+    result.tables.append(t1)
+
+    t2 = Table(
+        "First-layer combine rounds (over-split factor 2^rounds)",
+        ["rounds", "pieces", "vertex bias", "edge bias", "cut ratio"],
+        note="1 round can leave a hub outlier; 2-3 rounds converge (paper §3.3)",
+    )
+    for rounds in (1, 2, 3):
+        a = (
+            BPartPartitioner(base_rounds=rounds, max_layers=1, seed=config.seed)
+            .partition(g, K)
+            .assignment
+        )
+        t2.add_row(
+            rounds,
+            (2**rounds) * K,
+            bias(a.vertex_counts),
+            bias(a.edge_counts),
+            edge_cut_ratio(g, a.parts),
+        )
+        result.data[("rounds", rounds)] = (bias(a.vertex_counts), bias(a.edge_counts))
+    result.tables.append(t2)
+
+    t3 = Table(
+        "Vertex stream order",
+        ["order", "vertex bias", "edge bias", "cut ratio"],
+        note="balance holds across stream orders; cut varies with locality of the order",
+    )
+    for order in ("natural", "random", "bfs", "degree_desc"):
+        a = BPartPartitioner(order=order, seed=config.seed).partition(g, K).assignment
+        t3.add_row(order, bias(a.vertex_counts), bias(a.edge_counts), edge_cut_ratio(g, a.parts))
+        result.data[("order", order)] = (bias(a.vertex_counts), bias(a.edge_counts))
+    result.tables.append(t3)
+    return result

@@ -1,0 +1,39 @@
+"""Figure 3 — per-subgraph vertex/edge ratios at k = 4 (Twitter).
+
+The paper shows Chunk-V and Fennel balancing |V_i| while |E_i| gaps
+reach 8×, and Chunk-E balancing |E_i| while |V_i| gaps reach 13×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.experiments._common import graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+
+ALGOS = ("chunk-v", "chunk-e", "fennel")
+K = 4
+
+
+@register_experiment("fig03", "Vertex/edge ratios per subgraph (Twitter, 4 parts)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    g = graph_for(config, "twitter")
+    result = ExperimentResult(
+        "fig03",
+        "Vertex/edge ratios per subgraph (Twitter, 4 parts)",
+    )
+    table = Table(
+        "Share of |V| and |E| per subgraph",
+        ["algorithm", "dim"] + [f"G{i}" for i in range(K)] + ["max/min"],
+        note="Chunk-V/Fennel: |V| even, |E| gap up to 8x; Chunk-E: |E| even, |V| gap up to 13x",
+    )
+    for name in ALGOS:
+        a = partition_with(name, g, K, seed=config.seed).assignment
+        v = a.vertex_counts / g.num_vertices
+        e = a.edge_counts / g.num_edges
+        table.add_row(name, "V", *[float(x) for x in v], float(v.max() / max(v.min(), 1e-12)))
+        table.add_row(name, "E", *[float(x) for x in e], float(e.max() / max(e.min(), 1e-12)))
+        result.data[name] = {"vertex_ratio": v.tolist(), "edge_ratio": e.tolist()}
+    result.tables.append(table)
+    return result

@@ -1,0 +1,47 @@
+"""Figure 5 — edge-cut ratio and total message walks (Twitter, 8 parts).
+
+(a) fraction of cut edges per partitioner; (b) number of walker
+transmissions for a 5|V| × 4-step random walk job. The paper: Chunk-E
+and Hash ≈ 90 % cuts and > 2× Fennel's transmitted walks.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+from repro.bench.workloads import run_walk_job
+from repro.partition.metrics import edge_cut_ratio
+
+ALGOS = ("chunk-v", "chunk-e", "fennel", "hash", "bpart")
+K = 8
+
+
+@register_experiment("fig05", "Edge cuts and total message walks (Twitter, 8 parts)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    g = graph_for(config, "twitter")
+    result = ExperimentResult("fig05", "Edge cuts and total message walks (Twitter, 8 parts)")
+    table = Table(
+        "Cut ratio and walker messages (5|V| walks, 4 steps)",
+        ["algorithm", "edge-cut ratio", "message walks", "vs fennel"],
+        note="Chunk-E/Hash ~90% cuts and >2x Fennel's transmitted walks",
+    )
+    messages = {}
+    cuts = {}
+    for name in ALGOS:
+        a = partition_with(name, g, K, seed=config.seed).assignment
+        cuts[name] = edge_cut_ratio(g, a.parts)
+        walk = run_walk_job(
+            g, a, app_name="deepwalk", walkers_per_vertex=5, seed=config.seed
+        )
+        messages[name] = walk.total_messages
+    for name in ALGOS:
+        table.add_row(
+            name,
+            cuts[name],
+            messages[name],
+            messages[name] / max(messages["fennel"], 1),
+        )
+    result.tables.append(table)
+    result.data = {"cuts": cuts, "messages": messages}
+    return result

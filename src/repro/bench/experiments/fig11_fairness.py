@@ -1,0 +1,41 @@
+"""Figure 11 — Jain's fairness vs number of subgraphs (Twitter).
+
+k ∈ {8, 16, 32, 64, 128}. The paper: BPart's fairness stays ≈ 1 in both
+dimensions at every scale, while 1-D algorithms decay in their
+unbalanced dimension.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Series, Table
+from repro.partition.metrics import jains_fairness
+
+ALGOS = ("chunk-v", "chunk-e", "fennel", "bpart")
+PART_COUNTS = (8, 16, 32, 64, 128)
+
+
+@register_experiment("fig11", "Jain's fairness vs number of subgraphs (Twitter)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    g = graph_for(config, "twitter")
+    result = ExperimentResult("fig11", "Jain's fairness vs number of subgraphs (Twitter)")
+    table = Table(
+        "Jain's fairness of |Vi| and |Ei|",
+        ["algorithm", "k", "fairness(V)", "fairness(E)"],
+        note="BPart stays ~1.0 in both dimensions up to 128 subgraphs",
+    )
+    for name in ALGOS:
+        sv = Series(f"{name}:fairness(V)")
+        se = Series(f"{name}:fairness(E)")
+        for k in PART_COUNTS:
+            a = partition_with(name, g, k, seed=config.seed).assignment
+            fv = jains_fairness(a.vertex_counts)
+            fe = jains_fairness(a.edge_counts)
+            table.add_row(name, k, fv, fe)
+            sv.add(k, fv)
+            se.add(k, fe)
+            result.data[(name, k)] = (fv, fe)
+        result.series.extend([sv, se])
+    result.tables.append(table)
+    return result

@@ -1,0 +1,43 @@
+"""Figure 12 — per-machine computation time per iteration (Friendster, 8 machines).
+
+Random walk job (5|V| walks × 4 steps). The paper shows Fennel/Chunk-V/
+Chunk-E with highly imbalanced per-iteration compute times and BPart
+nearly flat across machines in every iteration.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+from repro.bench.workloads import run_walk_job
+from repro.partition.metrics import bias
+
+ALGOS = ("chunk-v", "chunk-e", "fennel", "bpart")
+K = 8
+
+
+@register_experiment("fig12", "Per-machine compute time per iteration (Friendster, 8 machines)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    g = graph_for(config, "friendster")
+    result = ExperimentResult(
+        "fig12", "Per-machine compute time per iteration (Friendster, 8 machines)"
+    )
+    table = Table(
+        "Compute microseconds per machine per iteration (simulated)",
+        ["algorithm", "iteration"] + [f"M{i}" for i in range(K)] + ["bias"],
+        note="1-D algorithms: large gaps every iteration; BPart: flat",
+    )
+    for name in ALGOS:
+        a = partition_with(name, g, K, seed=config.seed).assignment
+        walk = run_walk_job(
+            g, a, app_name="deepwalk", walkers_per_vertex=5, seed=config.seed
+        )
+        compute = walk.ledger.compute_matrix
+        for it in range(compute.shape[0]):
+            table.add_row(
+                name, it, *[float(x) * 1e6 for x in compute[it]], bias(compute[it])
+            )
+        result.data[name] = compute.tolist()
+    result.tables.append(table)
+    return result

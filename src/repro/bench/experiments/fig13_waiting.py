@@ -1,0 +1,50 @@
+"""Figure 13 — waiting-time ratio at 4 and 8 machines.
+
+Ratio = total barrier wait of all machines / (machines × makespan) for
+a 5|V| × 4-step random walk job. The paper: up to 70 % for 1-D balanced
+algorithms (means 45 % / 55 % at 4 / 8 machines), ~10–20 % for BPart.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import DATASET_ORDER, graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import BarChart, Table
+from repro.bench.workloads import run_walk_job
+
+ALGOS = ("chunk-v", "chunk-e", "fennel", "bpart")
+MACHINE_COUNTS = (4, 8)
+
+
+@register_experiment("fig13", "Waiting-time ratio of random walks (4 and 8 machines)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig13", "Waiting-time ratio of random walks (4 and 8 machines)"
+    )
+    for m in MACHINE_COUNTS:
+        table = Table(
+            f"{m} machines: fraction of machine-time spent waiting",
+            ["algorithm"] + list(DATASET_ORDER),
+            note="1-D algorithms wait up to 70%; BPart ~10-20%",
+        )
+        for name in ALGOS:
+            row = []
+            for dataset in DATASET_ORDER:
+                g = graph_for(config, dataset)
+                a = partition_with(name, g, m, seed=config.seed).assignment
+                walk = run_walk_job(
+                    g, a, app_name="deepwalk", walkers_per_vertex=5, seed=config.seed
+                )
+                ratio = walk.ledger.waiting_ratio
+                row.append(ratio)
+                result.data[(m, name, dataset)] = ratio
+            table.add_row(name, *row)
+        result.tables.append(table)
+        chart = BarChart(
+            f"{m} machines: waiting ratio on Twitter",
+            note="the paper's bars: tall for Chunk-V/Chunk-E/Fennel, short for BPart",
+        )
+        for name in ALGOS:
+            chart.add(name, result.data[(m, name, "twitter")])
+        result.charts.append(chart)
+    return result

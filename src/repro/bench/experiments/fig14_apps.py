@@ -1,0 +1,44 @@
+"""Figure 14 — normalized running time of the seven applications.
+
+Every application of §4.1 on every dataset, under all five partitioners,
+normalized so Chunk-V = 1. The paper: BPart wins everywhere, 5–70 %
+faster than Fennel/Chunk-V and 10–60 % faster than Chunk-E.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import DATASET_ORDER, graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+from repro.bench.workloads import ALL_APPS, run_app
+
+ALGOS = ("chunk-v", "chunk-e", "fennel", "hash", "bpart")
+K = 8
+
+
+@register_experiment("fig14", "Normalized running time of 7 applications (Chunk-V = 1)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig14", "Normalized running time of 7 applications (Chunk-V = 1)"
+    )
+    for dataset in DATASET_ORDER:
+        g = graph_for(config, dataset)
+        assignments = {
+            name: partition_with(name, g, K, seed=config.seed).assignment for name in ALGOS
+        }
+        table = Table(
+            f"{dataset}: runtime / Chunk-V runtime",
+            ["app"] + list(ALGOS),
+            note="BPart lowest on every app (paper: 5-70% below Chunk-V/Fennel)",
+        )
+        for app in ALL_APPS:
+            runtimes = {
+                name: run_app(app, g, assignments[name], seed=config.seed).runtime
+                for name in ALGOS
+            }
+            base = runtimes["chunk-v"] or 1e-12
+            table.add_row(app, *[runtimes[name] / base for name in ALGOS])
+            for name in ALGOS:
+                result.data[(dataset, app, name)] = runtimes[name]
+        result.tables.append(table)
+    return result

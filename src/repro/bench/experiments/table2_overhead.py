@@ -1,0 +1,37 @@
+"""Table 2 — wall-clock partition overhead (seconds), k = 8.
+
+The paper's ordering: Chunk-V ≈ Chunk-E ≪ Hash < Fennel < BPart, with
+BPart's extra cost coming from multiple combination layers. Absolute
+seconds differ (their graphs are 10^3× larger), but the ordering and
+rough ratios are the reproducible content.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import DATASET_ORDER, graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+
+ALGOS = ("chunk-v", "chunk-e", "hash", "fennel", "bpart")
+K = 8
+
+
+@register_experiment("table2", "Partition time overhead in seconds (k = 8)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    result = ExperimentResult("table2", "Partition time overhead in seconds (k = 8)")
+    table = Table(
+        "Wall-clock seconds per partitioner",
+        ["algorithm"] + list(DATASET_ORDER),
+        note="ordering Chunk << Hash < Fennel < BPart (paper: 0.17s .. 210s at full scale)",
+    )
+    times: dict[str, dict[str, float]] = {name: {} for name in ALGOS}
+    for dataset in DATASET_ORDER:
+        g = graph_for(config, dataset)
+        for name in ALGOS:
+            res = partition_with(name, g, K, seed=config.seed)
+            times[name][dataset] = res.elapsed
+    for name in ALGOS:
+        table.add_row(name, *[times[name][d] for d in DATASET_ORDER])
+    result.tables.append(table)
+    result.data = times
+    return result

@@ -1,0 +1,60 @@
+"""Extension — vertex-cut family comparison (§5 related work).
+
+The paper's related work contrasts edge-cut partitioning (BPart's
+family) with vertex-cut schemes [PowerGraph, DBH, HDRF], which balance
+edges perfectly but pay *replication* instead of edge cuts. This
+experiment puts both families on one table: replication factor and edge
+balance for the vertex-cut schemes, against BPart's cut ratio and 2-D
+balance, on the same graphs at k = 8.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._common import DATASET_ORDER, graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import Table
+from repro.partition.metrics import bias, edge_cut_ratio
+from repro.partition.vertexcut import (
+    DBHPartitioner,
+    GridPartitioner,
+    HDRFPartitioner,
+    RandomEdgePartitioner,
+    edge_balance_bias,
+    replication_factor,
+)
+
+K = 8
+
+
+@register_experiment("vertexcut", "Extension: vertex-cut family vs BPart (k = 8)")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    result = ExperimentResult("vertexcut", "Extension: vertex-cut family vs BPart (k = 8)")
+    table = Table(
+        "Vertex-cut replication vs edge-cut ratio",
+        ["dataset", "algorithm", "family", "replication", "edge bias", "cut ratio"],
+        note="HDRF < DBH < random replication; BPart pays cuts instead of copies",
+    )
+    vc_algos = (
+        ("random-edge", RandomEdgePartitioner()),
+        ("dbh", DBHPartitioner()),
+        ("grid", GridPartitioner()),
+        ("hdrf", HDRFPartitioner()),
+    )
+    for dataset in DATASET_ORDER:
+        g = graph_for(config, dataset)
+        for name, algo in vc_algos:
+            p = algo.partition(g, K)
+            rf = replication_factor(p)
+            table.add_row(dataset, name, "vertex-cut", rf, edge_balance_bias(p), "-")
+            result.data[(dataset, name)] = rf
+        a = partition_with("bpart", g, K, seed=config.seed).assignment
+        table.add_row(
+            dataset,
+            "bpart",
+            "edge-cut",
+            1.0,
+            bias(a.edge_counts),
+            edge_cut_ratio(g, a.parts),
+        )
+    result.tables.append(table)
+    return result

@@ -1,0 +1,133 @@
+"""Experiment registry and runner.
+
+Every table and figure of the paper has one experiment module under
+:mod:`repro.bench.experiments`. Each registers a function taking an
+:class:`ExperimentConfig` and returning an :class:`ExperimentResult`
+holding rendered tables/series. The CLI (``python -m repro``) and the
+pytest benchmarks both go through :func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.report import BarChart, Series, Table
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "register_experiment",
+    "run_experiment",
+    "available_experiments",
+    "experiment_description",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes
+    ----------
+    scale: dataset scale multiplier (1.0 ≈ tens of thousands of
+           vertices; raise it when more runtime is acceptable).
+    seed:  experiment seed — drives graph generation and walks.
+    """
+
+    scale: float = 1.0
+    seed: int = 1
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output of one experiment."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    charts: list[BarChart] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form: rendered blocks plus the raw data
+        (tuple keys become '/'-joined strings)."""
+
+        def _key(k):
+            return "/".join(str(x) for x in k) if isinstance(k, tuple) else str(k)
+
+        def _val(v):
+            if hasattr(v, "tolist"):
+                return v.tolist()
+            if isinstance(v, tuple):
+                return list(v)
+            return v
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [t.render() for t in self.tables],
+            "charts": [c.render() for c in self.charts],
+            "series": [s.render() for s in self.series],
+            "notes": list(self.notes),
+            "data": {_key(k): _val(v) for k, v in self.data.items()},
+        }
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for t in self.tables:
+            parts.append(t.render())
+        for c in self.charts:
+            parts.append(c.render())
+        for s in self.series:
+            parts.append(s.render())
+        for n in self.notes:
+            parts.append(f"note: {n}")
+        return "\n\n".join(parts)
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[ExperimentConfig], ExperimentResult]]] = {}
+
+
+def register_experiment(
+    experiment_id: str, title: str
+) -> Callable[[Callable[[ExperimentConfig], ExperimentResult]], Callable]:
+    """Decorator registering an experiment under ``experiment_id``."""
+
+    def deco(fn: Callable[[ExperimentConfig], ExperimentResult]) -> Callable:
+        _REGISTRY[experiment_id] = (title, fn)
+        return fn
+
+    return deco
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run a registered experiment by id (e.g. ``"fig10"``)."""
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
+        )
+    _, fn = _REGISTRY[experiment_id]
+    return fn(config if config is not None else ExperimentConfig())
+
+
+def available_experiments() -> list[str]:
+    """Sorted experiment ids."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def experiment_description(experiment_id: str) -> str:
+    _ensure_loaded()
+    return _REGISTRY[experiment_id][0]
+
+
+def _ensure_loaded() -> None:
+    # Experiment modules self-register on import.
+    import repro.bench.experiments  # noqa: F401

@@ -1,0 +1,115 @@
+"""Plain-text rendering of experiment output.
+
+Every experiment renders to :class:`Table` (paper tables, bar charts) or
+:class:`Series` (paper line/scatter figures) so the bench harness can
+print the same rows/series the paper reports, terminal-only, no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "Series", "BarChart", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: floats get 4 significant-ish decimals."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.4g}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An ASCII table with a title and optional paper-expectation note."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        cells = [[format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title]
+        lines.append(" | ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.note:
+            lines.append(f"  paper: {self.note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A named (x, y) series — one line of a paper figure."""
+
+    name: str
+    x: list[Any] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.x.append(x)
+        self.y.append(float(y))
+
+    def render(self) -> str:
+        pts = "  ".join(f"({format_cell(a)}, {format_cell(b)})" for a, b in zip(self.x, self.y))
+        return f"{self.name}: {pts}"
+
+
+@dataclass
+class BarChart:
+    """A horizontal ASCII bar chart — the terminal rendering of the
+    paper's bar figures (13/14/15).
+
+    Bars are scaled to ``width`` characters against the maximum value;
+    each row shows the label, the bar, and the value.
+    """
+
+    title: str
+    width: int = 40
+    note: str = ""
+    rows: list[tuple[str, float]] = field(default_factory=list)
+
+    def add(self, label: str, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"bar values must be non-negative, got {value}")
+        self.rows.append((label, float(value)))
+
+    def render(self) -> str:
+        lines = [self.title]
+        if not self.rows:
+            return self.title
+        peak = max(v for _, v in self.rows) or 1.0
+        label_w = max(len(label) for label, _ in self.rows)
+        for label, value in self.rows:
+            filled = int(round(value / peak * self.width))
+            bar = "█" * filled + "·" * (self.width - filled)
+            lines.append(f"{label.ljust(label_w)} |{bar}| {format_cell(value)}")
+        if self.note:
+            lines.append(f"  paper: {self.note}")
+        return "\n".join(lines)

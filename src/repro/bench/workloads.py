@@ -1,0 +1,143 @@
+"""Canonical workloads matching the paper's experiment setup (§4.1).
+
+Centralising the settings here keeps every experiment comparable:
+
+- random-walk load/waiting experiments start ``5·|V|`` walkers, 4 steps;
+- per-application runtime experiments start ``|V|`` walkers;
+- PPR stops with probability 0.1 per step (length capped generously),
+  RWJ jumps with probability 0.2, node2vec uses (p, q) = (2, 0.5);
+- PageRank runs 10 iterations, Connected Components to convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster import BSPCluster
+from repro.engines.gemini import ConnectedComponents, GeminiEngine, PageRank
+from repro.engines.knightking import PPR, RWD, RWJ, DeepWalk, Node2Vec, WalkEngine
+from repro.graph.csr import CSRGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner, get_partitioner
+
+__all__ = [
+    "PAPER_PARTITIONERS",
+    "ALL_APPS",
+    "WALK_APPS",
+    "ITERATION_APPS",
+    "AppRun",
+    "make_partitioners",
+    "run_app",
+    "run_walk_job",
+]
+
+#: the four baselines + BPart, in the paper's presentation order.
+PAPER_PARTITIONERS = ("chunk-v", "chunk-e", "fennel", "hash", "bpart")
+
+#: the seven applications of §4.1, paper order.
+WALK_APPS = ("ppr", "rwj", "rwd", "deepwalk", "node2vec")
+ITERATION_APPS = ("pagerank", "cc")
+ALL_APPS = WALK_APPS + ITERATION_APPS
+
+#: generous cap for the geometric-length PPR walk (P[len > 60] < 2e-3
+#: at stop probability 0.1).
+PPR_STEP_CAP = 60
+
+#: fixed walk length used throughout the paper's experiments.
+WALK_STEPS = 4
+
+
+@dataclass
+class AppRun:
+    """Outcome of one application on one partition."""
+
+    app: str
+    runtime: float
+    messages: int
+    waiting_ratio: float
+    iterations: int
+
+
+def make_partitioners(seed: int = 0) -> dict[str, Partitioner]:
+    """Fresh instances of the paper's five partitioners."""
+    return {name: get_partitioner(name, seed=seed) for name in PAPER_PARTITIONERS}
+
+
+def _walk_app(name: str):
+    if name == "ppr":
+        return PPR(stop_prob=0.1), PPR_STEP_CAP
+    if name == "rwj":
+        return RWJ(jump_prob=0.2), WALK_STEPS
+    if name == "rwd":
+        return RWD(), WALK_STEPS
+    if name == "deepwalk":
+        return DeepWalk(), WALK_STEPS
+    if name == "node2vec":
+        return Node2Vec(p=2.0, q=0.5), WALK_STEPS
+    raise KeyError(f"unknown walk app {name!r}")
+
+
+def run_walk_job(
+    graph: CSRGraph,
+    assignment: PartitionAssignment,
+    *,
+    app_name: str = "deepwalk",
+    walkers_per_vertex: int = 5,
+    max_steps: int | None = None,
+    seed: int = 0,
+    mode: str = "step_sync",
+):
+    """Run one random-walk job; returns the engine's WalkResult."""
+    app, default_steps = _walk_app(app_name)
+    cluster = BSPCluster(assignment.num_parts)
+    engine = WalkEngine(cluster, seed=seed, mode=mode)
+    return engine.run(
+        graph,
+        assignment,
+        app,
+        walkers_per_vertex=walkers_per_vertex,
+        max_steps=max_steps if max_steps is not None else default_steps,
+    )
+
+
+def run_app(
+    app_name: str,
+    graph: CSRGraph,
+    assignment: PartitionAssignment,
+    *,
+    walkers_per_vertex: int = 1,
+    seed: int = 0,
+) -> AppRun:
+    """Run one of the seven §4.1 applications and report its timing."""
+    if app_name in WALK_APPS:
+        result = run_walk_job(
+            graph,
+            assignment,
+            app_name=app_name,
+            walkers_per_vertex=walkers_per_vertex,
+            seed=seed,
+        )
+        return AppRun(
+            app=app_name,
+            runtime=result.runtime,
+            messages=result.total_messages,
+            waiting_ratio=result.ledger.waiting_ratio,
+            iterations=result.num_supersteps,
+        )
+    cluster = BSPCluster(assignment.num_parts)
+    engine = GeminiEngine(cluster)
+    if app_name == "pagerank":
+        program: Callable = PageRank(iterations=10)
+    elif app_name == "cc":
+        program = ConnectedComponents()
+    else:
+        raise KeyError(f"unknown app {app_name!r}")
+    result = engine.run(graph, assignment, program)
+    return AppRun(
+        app=app_name,
+        runtime=result.runtime,
+        messages=result.total_messages,
+        waiting_ratio=result.ledger.waiting_ratio,
+        iterations=result.iterations,
+    )

@@ -1,0 +1,190 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-bench``.
+
+Three subcommands (``bench`` is implied when the first argument is an
+experiment id)::
+
+    repro-bench --list                      # list experiments
+    repro-bench fig10 table3                # run experiments
+    repro-bench bench all --scale 0.5       # explicit form
+    repro-bench info --dataset twitter      # dataset statistics
+    repro-bench partition --dataset twitter --algo bpart --parts 8 \\
+                --out parts.npy             # partition a graph to a file
+    repro-bench partition --graph edges.txt --algo fennel --parts 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    available_experiments,
+    experiment_description,
+    run_experiment,
+)
+
+__all__ = ["main"]
+
+_SUBCOMMANDS = ("bench", "partition", "info", "validate")
+
+
+def _bench_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench bench",
+        description="Reproduce the tables and figures of the BPart paper (ICPP 2022).",
+    )
+    p.add_argument("experiments", nargs="*", help="experiment ids, or 'all'")
+    p.add_argument("--list", action="store_true", help="list available experiments")
+    p.add_argument("--scale", type=float, default=1.0, help="dataset scale multiplier")
+    p.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p.add_argument("--json", help="also write all results to this JSON file")
+    return p
+
+
+def _partition_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench partition", description="Partition a graph and report balance."
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=["livejournal", "twitter", "friendster"])
+    src.add_argument("--graph", help="path to an edge-list file")
+    p.add_argument("--algo", default="bpart", help="partitioner name (see registry)")
+    p.add_argument("--parts", type=int, default=8)
+    p.add_argument("--scale", type=float, default=1.0, help="dataset scale (datasets only)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", help="write the part-id vector to this .npy file")
+    return p
+
+
+def _info_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench info", description="Print dataset statistics (paper Table 1 style)."
+    )
+    p.add_argument(
+        "--dataset",
+        choices=["livejournal", "twitter", "friendster"],
+        default=None,
+        help="one dataset; default: all three",
+    )
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1)
+    return p
+
+
+def _run_bench(argv: list[str]) -> int:
+    args = _bench_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        for eid in available_experiments():
+            print(f"{eid:14s} {experiment_description(eid)}")
+        return 0
+    ids = args.experiments
+    if ids == ["all"]:
+        ids = available_experiments()
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    status = 0
+    collected = []
+    for eid in ids:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(eid, config)
+        except Exception as exc:  # surface which experiment failed
+            print(f"experiment {eid} failed: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(result.render())
+        print(f"[{eid} finished in {time.perf_counter() - start:.1f}s]\n")
+        collected.append(result.to_dict())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"scale": args.scale, "seed": args.seed, "results": collected}, fh, indent=1
+            )
+        print(f"results written to {args.json}")
+    return status
+
+
+def _run_partition(argv: list[str]) -> int:
+    from repro.graph import load_dataset, read_edge_list, summarize
+    from repro.partition import balance_report, get_partitioner
+
+    args = _partition_parser().parse_args(argv)
+    if args.dataset:
+        g = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        g = read_edge_list(args.graph)
+    print(f"graph: {summarize(g)}")
+    try:
+        partitioner = get_partitioner(args.algo, seed=args.seed)
+    except TypeError:
+        partitioner = get_partitioner(args.algo)
+    result = partitioner.partition(g, args.parts)
+    print(f"{args.algo} into {args.parts} parts in {result.elapsed:.3f}s")
+    print(balance_report(result.assignment))
+    if args.out:
+        np.save(args.out, result.assignment.parts)
+        print(f"part ids written to {args.out}")
+    return 0
+
+
+def _run_info(argv: list[str]) -> int:
+    from repro.graph import DATASETS, load_dataset, summarize
+
+    args = _info_parser().parse_args(argv)
+    names = [args.dataset] if args.dataset else sorted(DATASETS)
+    for name in names:
+        spec = DATASETS[name]
+        g = load_dataset(name, scale=args.scale, seed=args.seed)
+        print(f"{name}: {summarize(g)}")
+        print(
+            f"  stands in for {spec.paper_vertices:,} vertices / "
+            f"{spec.paper_edges:,} edges (paper Table 1, d̄={spec.avg_degree})"
+        )
+    return 0
+
+
+def _validate_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench validate",
+        description="Check the paper's core claims against fresh runs.",
+    )
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1)
+    return p
+
+
+def _run_validate(argv: list[str]) -> int:
+    from repro.bench.claims import check_claims
+
+    args = _validate_parser().parse_args(argv)
+    results = check_claims(ExperimentConfig(scale=args.scale, seed=args.seed))
+    for r in results:
+        print(r.render())
+    failed = sum(1 for r in results if not r.passed)
+    print(f"\n{len(results) - failed}/{len(results)} claims hold")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        cmd, rest = argv[0], argv[1:]
+    else:
+        cmd, rest = "bench", argv
+    if cmd == "partition":
+        return _run_partition(rest)
+    if cmd == "info":
+        return _run_info(rest)
+    if cmd == "validate":
+        return _run_validate(rest)
+    return _run_bench(rest)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Simulated BSP cluster substrate.
+
+The paper's testbed is eight machines on 56 Gbps Ethernet running BSP
+supersteps (Figure 1): per iteration every machine computes on its local
+subgraph, exchanges messages, and *waits* for the slowest machine. All
+evaluation quantities — per-machine compute time (Figure 12), waiting
+ratio (Figure 13), normalized running time (Figures 14/15) — are
+functions of the BSP schedule, which this package reproduces exactly:
+
+- :class:`~repro.cluster.cost.CostModel` — seconds per walker step /
+  per edge / per active vertex, per machine core count.
+- :class:`~repro.cluster.network.NetworkModel` — latency + bandwidth
+  message timing.
+- :class:`~repro.cluster.ledger.TimingLedger` — per-iteration
+  per-machine compute/comm/wait bookkeeping.
+- :class:`~repro.cluster.bsp.BSPCluster` — ties them together; engines
+  submit per-superstep work and traffic, the cluster derives the
+  schedule.
+"""
+
+from repro.cluster.bsp import BSPCluster
+from repro.cluster.cost import CostModel
+from repro.cluster.ledger import IterationTiming, TimingLedger
+from repro.cluster.messages import TrafficMatrix
+from repro.cluster.network import NetworkModel
+from repro.cluster.trace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "BSPCluster",
+    "CostModel",
+    "NetworkModel",
+    "TimingLedger",
+    "IterationTiming",
+    "TrafficMatrix",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

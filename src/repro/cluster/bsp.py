@@ -1,0 +1,119 @@
+"""BSP cluster façade.
+
+:class:`BSPCluster` binds a machine count, a :class:`CostModel` and a
+:class:`NetworkModel`, and owns the run's :class:`TimingLedger` plus the
+cumulative message count. Engines drive it superstep by superstep::
+
+    cluster = BSPCluster(num_machines=8)
+    cluster.begin_run()
+    for each superstep:
+        cluster.superstep(steps=..., edges=..., vertices=..., traffic=tm)
+    ledger = cluster.ledger
+
+The cluster also maps vertices to machines: machine ``i`` hosts the
+vertices of part ``i``, i.e. partitions and machines are in one-to-one
+correspondence as in Gemini/KnightKing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cost import CostModel
+from repro.cluster.ledger import TimingLedger
+from repro.cluster.messages import TrafficMatrix
+from repro.cluster.network import NetworkModel
+from repro.errors import SimulationError
+
+__all__ = ["BSPCluster"]
+
+
+class BSPCluster:
+    """A simulated cluster of ``num_machines`` identical machines."""
+
+    def __init__(
+        self,
+        num_machines: int,
+        *,
+        cost_model: CostModel | None = None,
+        network: NetworkModel | None = None,
+        overlap: bool = False,
+    ) -> None:
+        if num_machines <= 0:
+            raise SimulationError(f"num_machines must be positive, got {num_machines}")
+        self._num_machines = int(num_machines)
+        self._cost = cost_model if cost_model is not None else CostModel()
+        self._network = network if network is not None else NetworkModel()
+        self._overlap = bool(overlap)
+        self._ledger: TimingLedger | None = None
+        self._total_messages = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return self._num_machines
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost
+
+    @property
+    def network(self) -> NetworkModel:
+        return self._network
+
+    @property
+    def ledger(self) -> TimingLedger:
+        """The current (or last) run's ledger."""
+        if self._ledger is None:
+            raise SimulationError("no run started; call begin_run() first")
+        return self._ledger
+
+    @property
+    def total_messages(self) -> int:
+        """Cross-machine messages accumulated this run (Figure 5b)."""
+        return self._total_messages
+
+    # ------------------------------------------------------------------
+    def begin_run(self) -> TimingLedger:
+        """Reset the ledger and message counter for a new job."""
+        self._ledger = TimingLedger(self._num_machines, overlap=self._overlap)
+        self._total_messages = 0
+        return self._ledger
+
+    def superstep(
+        self,
+        *,
+        steps: np.ndarray | None = None,
+        edges: np.ndarray | None = None,
+        vertices: np.ndarray | None = None,
+        traffic: TrafficMatrix | None = None,
+    ) -> None:
+        """Record one BSP superstep.
+
+        Parameters
+        ----------
+        steps, edges, vertices:
+            Per-machine work counts (length-``M`` arrays; ``None`` = 0).
+        traffic:
+            Cross-machine messages of this superstep (``None`` = silent
+            superstep, only barrier latency).
+        """
+        if self._ledger is None:
+            raise SimulationError("no run started; call begin_run() first")
+        m = self._num_machines
+        zero = np.zeros(m)
+        compute = self._cost.compute_seconds(
+            steps=zero if steps is None else steps,
+            edges=zero if edges is None else edges,
+            vertices=zero if vertices is None else vertices,
+        )
+        if traffic is None:
+            traffic = TrafficMatrix(m)
+        elif traffic.num_machines != m:
+            raise SimulationError("traffic matrix size != cluster size")
+        comm = self._network.comm_seconds(traffic.sent, traffic.received)
+        self._ledger.record(np.asarray(compute, dtype=np.float64), comm)
+        self._total_messages += traffic.total
+
+    def __repr__(self) -> str:
+        return f"BSPCluster(machines={self._num_machines})"

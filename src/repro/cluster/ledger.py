@@ -1,0 +1,152 @@
+"""BSP timing ledger — the accounting heart of the evaluation.
+
+Per superstep the ledger stores each machine's compute and communication
+seconds. The BSP barrier means the superstep lasts as long as its
+slowest machine, so every other machine *waits* for the difference
+(Figure 1's "possible wait"). From these records the ledger derives:
+
+- per-iteration per-machine compute time (Figures 4 & 12),
+- total runtime = Σ over iterations of the slowest machine (Figures 14 & 15),
+- waiting ratio = Σ wait over machines and iterations divided by
+  (machines × total runtime) — the fraction of machine-time spent
+  blocked at barriers (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["IterationTiming", "TimingLedger"]
+
+
+@dataclass(frozen=True)
+class IterationTiming:
+    """Timing of one superstep across all machines.
+
+    ``overlap`` models systems that pipeline computation with
+    communication (the paper's §2.1 notes both Gemini and KnightKing
+    amortise part of the communication this way): a machine's busy time
+    is then ``max(compute, comm)`` instead of their sum.
+    """
+
+    compute: np.ndarray  # seconds per machine
+    comm: np.ndarray  # seconds per machine
+    overlap: bool = False
+
+    @property
+    def busy(self) -> np.ndarray:
+        """Per-machine busy time (sum, or max when overlapped)."""
+        if self.overlap:
+            return np.maximum(self.compute, self.comm)
+        return self.compute + self.comm
+
+    @property
+    def duration(self) -> float:
+        """Superstep length: the slowest machine's busy time."""
+        return float(self.busy.max())
+
+    @property
+    def wait(self) -> np.ndarray:
+        """Barrier wait per machine: duration − own busy time."""
+        return self.duration - self.busy
+
+
+class TimingLedger:
+    """Accumulates :class:`IterationTiming` records for one run."""
+
+    def __init__(self, num_machines: int, *, overlap: bool = False) -> None:
+        if num_machines <= 0:
+            raise SimulationError(f"num_machines must be positive, got {num_machines}")
+        self._num_machines = int(num_machines)
+        self._overlap = bool(overlap)
+        self._iterations: list[IterationTiming] = []
+
+    # ------------------------------------------------------------------
+    def record(self, compute: np.ndarray, comm: np.ndarray) -> IterationTiming:
+        """Append one superstep's per-machine compute/comm seconds."""
+        compute = np.asarray(compute, dtype=np.float64)
+        comm = np.asarray(comm, dtype=np.float64)
+        if compute.shape != (self._num_machines,) or comm.shape != (self._num_machines,):
+            raise SimulationError(
+                f"expected arrays of shape ({self._num_machines},), "
+                f"got {compute.shape} and {comm.shape}"
+            )
+        if (compute < 0).any() or (comm < 0).any():
+            raise SimulationError("negative compute or comm time")
+        it = IterationTiming(compute=compute.copy(), comm=comm.copy(), overlap=self._overlap)
+        self._iterations.append(it)
+        return it
+
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return self._num_machines
+
+    @property
+    def overlap(self) -> bool:
+        """Whether compute and communication are pipelined."""
+        return self._overlap
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self._iterations)
+
+    @property
+    def iterations(self) -> list[IterationTiming]:
+        """All recorded supersteps (shared list — do not mutate)."""
+        return self._iterations
+
+    @property
+    def compute_matrix(self) -> np.ndarray:
+        """``iterations × machines`` compute seconds (Figures 4/12)."""
+        if not self._iterations:
+            return np.zeros((0, self._num_machines))
+        return np.stack([it.compute for it in self._iterations])
+
+    @property
+    def comm_matrix(self) -> np.ndarray:
+        """``iterations × machines`` communication seconds."""
+        if not self._iterations:
+            return np.zeros((0, self._num_machines))
+        return np.stack([it.comm for it in self._iterations])
+
+    @property
+    def wait_matrix(self) -> np.ndarray:
+        """``iterations × machines`` barrier-wait seconds."""
+        if not self._iterations:
+            return np.zeros((0, self._num_machines))
+        return np.stack([it.wait for it in self._iterations])
+
+    @property
+    def total_runtime(self) -> float:
+        """Job makespan: Σ superstep durations."""
+        return float(sum(it.duration for it in self._iterations))
+
+    @property
+    def total_wait(self) -> float:
+        """Σ wait over all machines and supersteps."""
+        return float(self.wait_matrix.sum())
+
+    @property
+    def waiting_ratio(self) -> float:
+        """Fraction of machine-time spent waiting (Figure 13's metric).
+
+        ``Σ wait / (M × makespan)`` — 0 when perfectly balanced, → 1
+        when one machine does all the work.
+        """
+        runtime = self.total_runtime
+        if runtime == 0:
+            return 0.0
+        return self.total_wait / (self._num_machines * runtime)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingLedger(machines={self._num_machines}, "
+            f"iterations={self.num_iterations}, "
+            f"runtime={self.total_runtime:.6f}s, "
+            f"waiting_ratio={self.waiting_ratio:.3f})"
+        )

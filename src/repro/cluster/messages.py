@@ -1,0 +1,85 @@
+"""Per-superstep message traffic bookkeeping.
+
+A :class:`TrafficMatrix` is an ``M × M`` count of messages from machine
+``i`` to machine ``j`` within one superstep. Engines fill it (walker
+transmissions in KnightKing, vertex updates in Gemini); the cluster
+derives per-machine sent/received vectors for the network model, and
+Figure 5b's "total message walks" is the sum over all supersteps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["TrafficMatrix"]
+
+
+class TrafficMatrix:
+    """Dense ``M × M`` message-count matrix for one superstep."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, num_machines: int) -> None:
+        if num_machines <= 0:
+            raise SimulationError(f"num_machines must be positive, got {num_machines}")
+        self._counts = np.zeros((num_machines, num_machines), dtype=np.int64)
+
+    @classmethod
+    def from_pairs(
+        cls, num_machines: int, src_machines: np.ndarray, dst_machines: np.ndarray
+    ) -> "TrafficMatrix":
+        """Build from parallel source/destination machine-id arrays.
+
+        Intra-machine pairs are dropped (local delivery is free).
+        Vectorised: one ``bincount`` over flattened pair ids.
+        """
+        tm = cls(num_machines)
+        src = np.asarray(src_machines, dtype=np.int64)
+        dst = np.asarray(dst_machines, dtype=np.int64)
+        if src.size != dst.size:
+            raise SimulationError("src and dst machine arrays differ in length")
+        if src.size:
+            if src.min() < 0 or src.max() >= num_machines or dst.min() < 0 or dst.max() >= num_machines:
+                raise SimulationError("machine id outside cluster")
+            cross = src != dst
+            flat = src[cross] * num_machines + dst[cross]
+            counts = np.bincount(flat, minlength=num_machines * num_machines)
+            tm._counts += counts.reshape(num_machines, num_machines)
+        return tm
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The raw matrix (view)."""
+        return self._counts
+
+    @property
+    def num_machines(self) -> int:
+        return self._counts.shape[0]
+
+    def add(self, src: int, dst: int, count: int = 1) -> None:
+        """Record ``count`` messages ``src → dst`` (no-op if same machine)."""
+        if src != dst:
+            self._counts[src, dst] += count
+
+    @property
+    def sent(self) -> np.ndarray:
+        """Messages sent per machine (row sums)."""
+        return self._counts.sum(axis=1)
+
+    @property
+    def received(self) -> np.ndarray:
+        """Messages received per machine (column sums)."""
+        return self._counts.sum(axis=0)
+
+    @property
+    def total(self) -> int:
+        """Total cross-machine messages this superstep."""
+        return int(self._counts.sum())
+
+    def __iadd__(self, other: "TrafficMatrix") -> "TrafficMatrix":
+        if other.num_machines != self.num_machines:
+            raise SimulationError("traffic matrices of different cluster sizes")
+        self._counts += other._counts
+        return self

@@ -1,0 +1,58 @@
+"""Network timing model.
+
+Models the paper's 56 Gbps Ethernet fabric with the standard
+latency + size/bandwidth cost. Per superstep each machine's
+communication time is the time to push its outgoing bytes onto the wire
+plus the time to drain its incoming bytes, plus one synchronisation
+latency — the full-duplex approximation used by most BSP cost analyses
+(and consistent with how Gemini/KnightKing pipeline sends and
+receives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth network with fixed-size messages.
+
+    Attributes
+    ----------
+    bandwidth:     usable bytes/second per machine NIC
+                   (56 Gbps ≈ 7 GB/s raw; default assumes ~70 % goodput).
+    latency:       per-superstep synchronisation latency in seconds.
+    message_bytes: wire size of one message (a walker or one vertex
+                   update, including headers).
+    """
+
+    bandwidth: float = 5e9
+    latency: float = 50e-6
+    message_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        check_nonnegative("latency", self.latency)
+        check_positive("message_bytes", self.message_bytes)
+
+    def comm_seconds(self, sent: np.ndarray, received: np.ndarray) -> np.ndarray:
+        """Per-machine communication seconds for one superstep.
+
+        Parameters
+        ----------
+        sent, received:
+            Per-machine *message counts* (not bytes) for the superstep.
+        """
+        sent = np.asarray(sent, dtype=np.float64)
+        received = np.asarray(received, dtype=np.float64)
+        busy = np.maximum(sent, received) * self.message_bytes / self.bandwidth
+        # Machines that neither send nor receive still pay the barrier
+        # latency — BSP synchronises everyone.
+        return busy + self.latency

@@ -1,0 +1,83 @@
+"""Export a BSP schedule as a Chrome-tracing timeline.
+
+``chrome://tracing`` / Perfetto render JSON event lists as per-track
+timelines. Mapping each simulated machine to a track with its compute /
+communication / wait phases per superstep turns a
+:class:`~repro.cluster.ledger.TimingLedger` into the kind of Gantt view
+systems papers use to *show* barrier waiting (the visual counterpart of
+Figure 12).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cluster.ledger import TimingLedger
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+_PHASES = ("compute", "comm", "wait")
+
+
+def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[dict]:
+    """Convert a ledger to Chrome-tracing "complete" (X) events.
+
+    One track (tid) per machine; one event per (superstep, phase) with
+    microsecond timestamps. Supersteps start at the barrier-aligned
+    global clock, so waits render as gaps filled by explicit "wait"
+    events.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": job_name},
+        }
+    ]
+    for machine in range(ledger.num_machines):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": machine,
+                "args": {"name": f"machine-{machine}"},
+            }
+        )
+    t0 = 0.0
+    for step, it in enumerate(ledger.iterations):
+        duration = it.duration
+        for machine in range(ledger.num_machines):
+            segments = (
+                (f"compute[{step}]", float(it.compute[machine])),
+                (f"comm[{step}]", float(it.comm[machine])),
+                (f"wait[{step}]", float(it.wait[machine])),
+            )
+            cursor = t0
+            for name, seconds in segments:
+                if seconds <= 0:
+                    continue
+                events.append(
+                    {
+                        "name": name,
+                        "cat": name.split("[")[0],
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": machine,
+                        "ts": cursor * 1e6,
+                        "dur": seconds * 1e6,
+                    }
+                )
+                cursor += seconds
+        t0 += duration
+    return events
+
+
+def write_chrome_trace(
+    ledger: TimingLedger, path: str | os.PathLike, *, job_name: str = "bsp-job"
+) -> None:
+    """Write the trace JSON (loadable in chrome://tracing / Perfetto)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": to_chrome_trace(ledger, job_name=job_name)}, fh)

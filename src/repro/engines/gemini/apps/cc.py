@@ -1,0 +1,63 @@
+"""Connected Components via min-label propagation.
+
+Every vertex starts with its own id as label and repeatedly adopts the
+minimum label in its closed neighbourhood; convergence (an iteration
+with no change) labels each component by its smallest vertex id. This is
+the HCC formulation used in Pregel-family systems, and the algorithm the
+paper runs on Gemini "until convergence".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.gemini.vertex_program import VertexProgram, neighbor_min
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ConnectedComponents"]
+
+
+class ConnectedComponents(VertexProgram):
+    """Min-label propagation; converges in O(diameter) iterations."""
+
+    name = "connected-components"
+
+    def __init__(self, max_iterations: int | None = None) -> None:
+        if max_iterations is not None:
+            self.max_iterations = int(max_iterations)
+        else:
+            self.max_iterations = 10_000  # effectively "until convergence"
+
+    def initialize(self, graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+        n = graph.num_vertices
+        return np.arange(n, dtype=np.float64), np.ones(n, dtype=bool)
+
+    def iterate(
+        self, graph: CSRGraph, state: np.ndarray, active: np.ndarray, iteration: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        nbr = neighbor_min(graph, state, default=np.inf)
+        new_state = np.minimum(state, nbr)
+        changed = new_state < state
+        # Frontier semantics: a vertex participates next round if its
+        # label changed or a neighbour's did. Using the changed set keeps
+        # the accounting sparse as components settle.
+        if changed.any():
+            next_active = np.zeros_like(active)
+            next_active[changed] = True
+            # Neighbours of changed vertices must re-check their minima.
+            changed_ids = np.nonzero(changed)[0]
+            for v in changed_ids if changed_ids.size < 1024 else ():
+                next_active[graph.neighbors(v)] = True
+            if changed_ids.size >= 1024:
+                # Vectorised scatter for large frontiers.
+                starts = graph.indptr[changed_ids]
+                ends = graph.indptr[changed_ids + 1]
+                total = int((ends - starts).sum())
+                if total:
+                    gathered = np.concatenate(
+                        [graph.indices[s:e] for s, e in zip(starts, ends)]
+                    )
+                    next_active[gathered] = True
+        else:
+            next_active = np.zeros_like(active)
+        return new_state, next_active

@@ -1,0 +1,33 @@
+"""Degree centrality — a single-superstep program.
+
+Trivial by design: it pins down the engine's accounting for the
+degenerate one-iteration case (every vertex active once, no second
+superstep) and gives examples a cheap first app.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.gemini.vertex_program import VertexProgram
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DegreeCentrality"]
+
+
+class DegreeCentrality(VertexProgram):
+    """``deg(v) / (n - 1)`` in one superstep."""
+
+    name = "degree-centrality"
+    max_iterations = 1
+
+    def initialize(self, graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+        n = graph.num_vertices
+        return np.zeros(n), np.ones(n, dtype=bool)
+
+    def iterate(
+        self, graph: CSRGraph, state: np.ndarray, active: np.ndarray, iteration: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = graph.num_vertices
+        denom = max(n - 1, 1)
+        return graph.degrees / denom, np.zeros(n, dtype=bool)

@@ -1,0 +1,86 @@
+"""Vertex-program interface and vectorised gather primitives.
+
+A :class:`VertexProgram` describes one iterative graph algorithm in the
+pull/gather style Gemini uses: per iteration every active vertex reads
+its neighbours' state and produces a new value. The engine owns the BSP
+accounting; programs own only the numerical semantics, expressed over
+whole-graph NumPy arrays.
+
+The two gather primitives, :func:`neighbor_sum` and :func:`neighbor_min`,
+use the ``reduceat``-over-CSR trick: segment-reduce the permuted value
+array at ``indptr`` starts. Zero-degree segments are handled by passing
+only nonzero-degree starts — an empty CSR range never shifts the next
+segment's boundary, so consecutive kept starts still delimit exactly one
+vertex's neighbour list. This keeps every iteration free of Python-level
+per-edge loops (the hpc-parallel guides' core rule).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["VertexProgram", "neighbor_sum", "neighbor_min"]
+
+
+def neighbor_sum(graph: CSRGraph, values: np.ndarray, *, default: float = 0.0) -> np.ndarray:
+    """For every vertex, Σ of ``values`` over its out-neighbours.
+
+    Vertices with no neighbours get ``default``.
+    """
+    n = graph.num_vertices
+    out = np.full(n, default, dtype=np.float64)
+    if graph.num_edges == 0:
+        return out
+    gathered = values[graph.indices]
+    nonzero = graph.degrees > 0
+    starts = graph.indptr[:-1][nonzero]
+    out[nonzero] = np.add.reduceat(gathered, starts)
+    return out
+
+
+def neighbor_min(graph: CSRGraph, values: np.ndarray, *, default: float = np.inf) -> np.ndarray:
+    """For every vertex, min of ``values`` over its out-neighbours."""
+    n = graph.num_vertices
+    out = np.full(n, default, dtype=np.float64)
+    if graph.num_edges == 0:
+        return out
+    gathered = values[graph.indices].astype(np.float64)
+    nonzero = graph.degrees > 0
+    starts = graph.indptr[:-1][nonzero]
+    out[nonzero] = np.minimum.reduceat(gathered, starts)
+    return out
+
+
+class VertexProgram(abc.ABC):
+    """One iterative vertex-centric algorithm.
+
+    Subclasses define the numeric state and per-iteration transition;
+    the engine queries ``max_iterations`` and stops early when
+    :meth:`iterate` reports an empty frontier.
+    """
+
+    #: human-readable name used in reports.
+    name: str = "program"
+
+    #: hard iteration cap (PageRank: exactly 10 per the paper's canon;
+    #: convergence programs: a safe upper bound).
+    max_iterations: int = 100
+
+    @abc.abstractmethod
+    def initialize(self, graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(state, active_mask)`` for iteration 0."""
+
+    @abc.abstractmethod
+    def iterate(
+        self, graph: CSRGraph, state: np.ndarray, active: np.ndarray, iteration: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One superstep: return ``(new_state, next_active_mask)``.
+
+        ``active`` is the frontier whose work is being accounted this
+        superstep; the returned mask is next superstep's frontier (empty
+        mask ⇒ converged).
+        """

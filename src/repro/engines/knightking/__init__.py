@@ -1,0 +1,27 @@
+"""KnightKing-like walker-centric BSP random walk engine."""
+
+from repro.engines.knightking.alias import AliasTable, VertexAliasIndex
+from repro.engines.knightking.apps import PPR, RWD, RWJ, DeepWalk, Node2Vec, WalkApp, WeightedWalk
+from repro.engines.knightking.corpus import read_walk_corpus, write_walk_corpus
+from repro.engines.knightking.engine import WalkEngine, WalkResult
+from repro.engines.knightking.transition import arcs_exist, uniform_neighbor
+from repro.engines.knightking.walker import WalkerBatch
+
+__all__ = [
+    "WalkEngine",
+    "WalkResult",
+    "WalkerBatch",
+    "WalkApp",
+    "PPR",
+    "RWJ",
+    "RWD",
+    "DeepWalk",
+    "Node2Vec",
+    "AliasTable",
+    "VertexAliasIndex",
+    "WeightedWalk",
+    "uniform_neighbor",
+    "arcs_exist",
+    "read_walk_corpus",
+    "write_walk_corpus",
+]

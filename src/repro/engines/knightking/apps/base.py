@@ -1,0 +1,48 @@
+"""Walk-app interface.
+
+A walk app defines one transition law. :meth:`WalkApp.advance` receives
+the *active batch* (positions, previous positions) and returns the next
+vertex of each walker plus a termination mask; the engine handles step
+caps, machine accounting, and message generation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["WalkApp"]
+
+
+class WalkApp(abc.ABC):
+    """One random-walk transition law."""
+
+    #: report name (matches the paper's application labels).
+    name: str = "walk"
+
+    @abc.abstractmethod
+    def advance(
+        self,
+        graph: CSRGraph,
+        positions: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute one step for a batch of walkers.
+
+        Parameters
+        ----------
+        positions: current vertex per walker.
+        previous:  previous vertex per walker (−1 before the first step).
+        rng:       the engine's generator (single stream ⇒ reproducible).
+
+        Returns
+        -------
+        (targets, terminated):
+            Next vertex per walker, and a mask of walkers that stop *in
+            place this step* (termination draw, dead end). Terminated
+            walkers' target values are ignored.
+        """

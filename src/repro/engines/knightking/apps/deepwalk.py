@@ -1,0 +1,30 @@
+"""DeepWalk truncated uniform random walk (Perozzi et al., KDD 2014).
+
+First-order, unweighted, fixed length (the engine's ``max_steps`` cap).
+Also the base transition reused by PPR/RWJ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.knightking.apps.base import WalkApp
+from repro.engines.knightking.transition import uniform_neighbor
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DeepWalk"]
+
+
+class DeepWalk(WalkApp):
+    """Uniform neighbour step; dead ends terminate."""
+
+    name = "deepwalk"
+
+    def advance(
+        self,
+        graph: CSRGraph,
+        positions: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return uniform_neighbor(graph, positions, rng)

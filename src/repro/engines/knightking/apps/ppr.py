@@ -1,0 +1,39 @@
+"""Personalized PageRank random walk (Fogaras et al., 2005).
+
+Geometric-length walk: before each step the walker stops with
+probability ``stop_prob`` (the paper's setting: 0.1); otherwise it moves
+to a uniform neighbour. The visit distribution of many such walks from a
+seed estimates that seed's PPR vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.knightking.apps.base import WalkApp
+from repro.engines.knightking.transition import uniform_neighbor
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_probability
+
+__all__ = ["PPR"]
+
+
+class PPR(WalkApp):
+    """Terminate w.p. ``stop_prob`` each step, else uniform step."""
+
+    name = "ppr"
+
+    def __init__(self, stop_prob: float = 0.1) -> None:
+        check_probability("stop_prob", stop_prob)
+        self.stop_prob = float(stop_prob)
+
+    def advance(
+        self,
+        graph: CSRGraph,
+        positions: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        stop = rng.random(positions.size) < self.stop_prob
+        targets, dead = uniform_neighbor(graph, positions, rng)
+        return targets, stop | dead

@@ -1,0 +1,47 @@
+"""Random walk with domination (after Li et al., ICDE 2014).
+
+The original RWD problem selects walks that maximise the number of
+*dominated* (visited-or-adjacent) vertices. KnightKing's benchmark runs
+its walk primitive: a fixed-length walk whose step distribution is
+biased toward vertices that extend domination — in practice, toward
+high-degree neighbours, since a high-degree vertex dominates the most
+new neighbours.
+
+We reproduce that walk primitive with the classic two-candidate power
+rule: sample two uniform neighbour candidates and move to the one with
+the larger degree. This keeps the step O(1), fully vectorised, and
+reproduces the behaviour that matters for the paper's experiments — RWD
+walkers pile onto hub vertices, making its load *more* sensitive to
+edge imbalance than DeepWalk's (see EXPERIMENTS.md). The substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.knightking.apps.base import WalkApp
+from repro.engines.knightking.transition import uniform_neighbor
+from repro.graph.csr import CSRGraph
+
+__all__ = ["RWD"]
+
+
+class RWD(WalkApp):
+    """Degree-greedy two-candidate walk (domination-biased)."""
+
+    name = "rwd"
+
+    def advance(
+        self,
+        graph: CSRGraph,
+        positions: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cand_a, dead_a = uniform_neighbor(graph, positions, rng)
+        cand_b, _ = uniform_neighbor(graph, positions, rng)
+        deg = graph.degrees
+        take_b = deg[cand_b] > deg[cand_a]
+        targets = np.where(take_b, cand_b, cand_a)
+        return targets, dead_a

@@ -1,0 +1,43 @@
+"""Random walk with jump (Hussein et al., CIKM 2018).
+
+With probability ``jump_prob`` (paper: 0.2) the walker teleports to a
+uniformly random vertex of the whole graph; otherwise it takes a uniform
+neighbour step. Jumps rescue walkers from dead ends, so only a dead end
+*without* a jump terminates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.knightking.apps.base import WalkApp
+from repro.engines.knightking.transition import uniform_neighbor
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_probability
+
+__all__ = ["RWJ"]
+
+
+class RWJ(WalkApp):
+    """Uniform step, teleporting with probability ``jump_prob``."""
+
+    name = "rwj"
+
+    def __init__(self, jump_prob: float = 0.2) -> None:
+        check_probability("jump_prob", jump_prob)
+        self.jump_prob = float(jump_prob)
+
+    def advance(
+        self,
+        graph: CSRGraph,
+        positions: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        k = positions.size
+        jump = rng.random(k) < self.jump_prob
+        targets, dead = uniform_neighbor(graph, positions, rng)
+        if jump.any():
+            targets = targets.copy()
+            targets[jump] = rng.integers(0, graph.num_vertices, size=int(jump.sum()))
+        return targets, dead & ~jump

@@ -1,0 +1,60 @@
+"""Walk-corpus persistence.
+
+DeepWalk/node2vec pipelines write their walk traces to disk as one
+whitespace-separated line per walk — the exact input format skip-gram
+trainers (word2vec, gensim) consume. These helpers convert between the
+engine's padded path matrix (−1 past each walk's end) and that format.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["write_walk_corpus", "read_walk_corpus"]
+
+
+def write_walk_corpus(paths: np.ndarray, path: str | os.PathLike) -> int:
+    """Write one line per walk; returns the number of lines written.
+
+    ``paths`` is the ``walkers × (steps + 1)`` matrix produced by a
+    :class:`~repro.engines.knightking.engine.WalkEngine` run with
+    ``record_paths=True``; −1 entries mark the end of shorter walks.
+    """
+    paths = np.asarray(paths)
+    if paths.ndim != 2:
+        raise GraphFormatError("paths must be a 2-D walkers × steps matrix")
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in paths:
+            trace = row[row >= 0]
+            if trace.size == 0:
+                continue
+            fh.write(" ".join(str(int(v)) for v in trace))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_walk_corpus(path: str | os.PathLike) -> np.ndarray:
+    """Read a corpus back into the padded matrix format."""
+    walks: list[list[int]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                walks.append([int(tok) for tok in line.split()])
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: non-integer vertex id") from exc
+    if not walks:
+        return np.empty((0, 0), dtype=np.int64)
+    width = max(len(w) for w in walks)
+    out = np.full((len(walks), width), -1, dtype=np.int64)
+    for i, w in enumerate(walks):
+        out[i, : len(w)] = w
+    return out

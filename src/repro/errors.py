@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching programming errors (``TypeError`` etc.) by accident.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "PartitionError",
+    "ConfigurationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is malformed or inconsistent.
+
+    Examples: an edge list referencing a vertex id out of range, a CSR
+    ``indptr`` array that is not monotone, or an unreadable file format.
+    """
+
+
+class PartitionError(ReproError):
+    """Raised when a partitioner cannot produce a valid partition.
+
+    Examples: requesting more parts than vertices, an assignment vector
+    with unassigned vertices, or a combining plan that does not cover
+    every piece exactly once.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-supplied parameters.
+
+    Examples: a weighting factor outside ``[0, 1]``, a non-positive
+    number of machines, or a negative walk length.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the BSP cluster simulator reaches an invalid state.
+
+    Examples: a message addressed to a machine outside the cluster, or
+    a ledger queried for an iteration that never ran.
+    """

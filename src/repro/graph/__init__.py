@@ -1,0 +1,96 @@
+"""Graph substrate: CSR storage, builders, generators, IO, streams.
+
+The whole library operates on :class:`~repro.graph.csr.CSRGraph`, a
+compressed-sparse-row adjacency structure backed by two NumPy arrays.
+This mirrors the storage used by the systems the paper builds on
+(Gemini, KnightKing) and keeps every hot loop vectorisable.
+"""
+
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    friendster_like,
+    livejournal_like,
+    load_dataset,
+    twitter_like,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    powerlaw_degrees,
+    ring_graph,
+    rmat,
+    social_graph,
+    star_graph,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_metis,
+    read_npz,
+    write_edge_list,
+    write_metis,
+    write_npz,
+)
+from repro.graph.stats import GraphSummary, degree_histogram, powerlaw_exponent, summarize
+from repro.graph.stream import vertex_stream
+from repro.graph.subgraph import extract_subgraph, partition_subgraphs
+from repro.graph.transform import (
+    TransformedGraph,
+    connected_components_sizes,
+    filter_min_degree,
+    kcore_subgraph,
+    largest_connected_component,
+    locality_reorder,
+    relabel,
+)
+from repro.graph.weights import EdgeWeights
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "livejournal_like",
+    "twitter_like",
+    "friendster_like",
+    "barabasi_albert",
+    "chung_lu",
+    "complete_graph",
+    "erdos_renyi",
+    "grid_graph",
+    "path_graph",
+    "powerlaw_degrees",
+    "ring_graph",
+    "rmat",
+    "social_graph",
+    "star_graph",
+    "read_edge_list",
+    "read_metis",
+    "read_npz",
+    "write_edge_list",
+    "write_metis",
+    "write_npz",
+    "GraphSummary",
+    "degree_histogram",
+    "powerlaw_exponent",
+    "summarize",
+    "vertex_stream",
+    "extract_subgraph",
+    "partition_subgraphs",
+    "EdgeWeights",
+    "TransformedGraph",
+    "connected_components_sizes",
+    "filter_min_degree",
+    "kcore_subgraph",
+    "largest_connected_component",
+    "locality_reorder",
+    "relabel",
+]

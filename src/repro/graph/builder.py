@@ -1,0 +1,135 @@
+"""Constructing :class:`~repro.graph.csr.CSRGraph` from edge data.
+
+Two entry points:
+
+- :func:`from_edges` — vectorised one-shot construction from ``(src, dst)``
+  arrays; this is what the generators use.
+- :class:`GraphBuilder` — incremental builder for tests and file loaders
+  that discover edges one batch at a time.
+
+Both paths deduplicate parallel edges, optionally drop self-loops, and
+symmetrise undirected input so the resulting CSR satisfies the storage
+contract documented in :mod:`repro.graph.csr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["from_edges", "GraphBuilder"]
+
+
+def from_edges(
+    src,
+    dst,
+    num_vertices: int | None = None,
+    *,
+    directed: bool = False,
+    dedup: bool = True,
+    drop_self_loops: bool = True,
+) -> CSRGraph:
+    """Build a CSR graph from parallel source/target arrays.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer array-likes of equal length; arc ``src[i] → dst[i]``.
+    num_vertices:
+        Vertex-count override; defaults to ``max(id) + 1``. Needed when
+        trailing vertices are isolated.
+    directed:
+        ``False`` (default) symmetrises: every input edge yields both
+        arcs. ``True`` keeps arcs as given.
+    dedup:
+        Remove parallel arcs (after symmetrisation).
+    drop_self_loops:
+        Remove ``v → v`` arcs (social-network datasets have none, and
+        self-loops make random-walk semantics ambiguous).
+    """
+    s = np.asarray(src, dtype=np.int64).ravel()
+    d = np.asarray(dst, dtype=np.int64).ravel()
+    if s.size != d.size:
+        raise GraphFormatError(f"src and dst lengths differ: {s.size} != {d.size}")
+    if s.size and (min(s.min(), d.min()) < 0):
+        raise GraphFormatError("negative vertex id in edge list")
+    inferred = int(max(s.max(), d.max()) + 1) if s.size else 0
+    n = inferred if num_vertices is None else int(num_vertices)
+    if n < inferred:
+        raise GraphFormatError(
+            f"num_vertices={n} too small for max vertex id {inferred - 1}"
+        )
+
+    if drop_self_loops and s.size:
+        keep = s != d
+        s, d = s[keep], d[keep]
+    if not directed and s.size:
+        s, d = np.concatenate([s, d]), np.concatenate([d, s])
+
+    # Sort arcs by (src, dst) with a single key to get sorted neighbour
+    # lists and enable O(m) dedup. n can exceed 2^31 so use int64 key.
+    if s.size:
+        key = s * np.int64(n) + d
+        order = np.argsort(key, kind="stable")
+        s, d, key = s[order], d[order], key[order]
+        if dedup:
+            keep = np.empty(key.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(key[1:], key[:-1], out=keep[1:])
+            s, d = s[keep], d[keep]
+
+    counts = np.bincount(s, minlength=n) if s.size else np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
+    return CSRGraph(indptr, d.astype(dtype), directed=directed, validate=False)
+
+
+class GraphBuilder:
+    """Incremental edge accumulator producing a :class:`CSRGraph`.
+
+    >>> b = GraphBuilder(directed=False)
+    >>> b.add_edge(0, 1)
+    >>> b.add_edges([1, 2], [2, 0])
+    >>> g = b.build()
+    >>> g.num_vertices, g.num_undirected_edges
+    (3, 3)
+    """
+
+    def __init__(self, *, directed: bool = False, num_vertices: int | None = None) -> None:
+        self._directed = directed
+        self._num_vertices = num_vertices
+        self._src_chunks: list[np.ndarray] = []
+        self._dst_chunks: list[np.ndarray] = []
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Append a single edge (arc if the builder is directed)."""
+        self._src_chunks.append(np.array([u], dtype=np.int64))
+        self._dst_chunks.append(np.array([v], dtype=np.int64))
+
+    def add_edges(self, src, dst) -> None:
+        """Append a batch of edges given as parallel arrays."""
+        s = np.asarray(src, dtype=np.int64).ravel()
+        d = np.asarray(dst, dtype=np.int64).ravel()
+        if s.size != d.size:
+            raise GraphFormatError(f"src and dst lengths differ: {s.size} != {d.size}")
+        self._src_chunks.append(s)
+        self._dst_chunks.append(d)
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Edges accumulated so far (before dedup/symmetrisation)."""
+        return int(sum(c.size for c in self._src_chunks))
+
+    def build(self, **kwargs) -> CSRGraph:
+        """Assemble the final graph; accepts :func:`from_edges` options."""
+        if self._src_chunks:
+            src = np.concatenate(self._src_chunks)
+            dst = np.concatenate(self._dst_chunks)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        kwargs.setdefault("directed", self._directed)
+        return from_edges(src, dst, self._num_vertices, **kwargs)

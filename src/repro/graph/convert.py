@@ -1,0 +1,45 @@
+"""NetworkX bridge.
+
+Strictly a convenience/validation layer: tests cross-check CSR
+algorithms (connected components, PageRank, cuts) against networkx on
+small graphs. Never used on hot paths — networkx objects are orders of
+magnitude heavier than CSR arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to ``networkx.Graph`` / ``DiGraph`` (imports lazily)."""
+    import networkx as nx
+
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.edge_array()
+    if not graph.directed:
+        keep = src <= dst
+        src, dst = src[keep], dst[keep]
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+def from_networkx(g, *, num_vertices: int | None = None) -> CSRGraph:
+    """Convert from a networkx graph with integer node labels 0..n-1."""
+    import networkx as nx
+
+    directed = isinstance(g, nx.DiGraph)
+    edges = np.asarray(list(g.edges()), dtype=np.int64)
+    if edges.size == 0:
+        n = num_vertices if num_vertices is not None else g.number_of_nodes()
+        return from_edges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), n, directed=directed
+        )
+    n = num_vertices if num_vertices is not None else g.number_of_nodes()
+    return from_edges(edges[:, 0], edges[:, 1], n, directed=directed)

@@ -1,0 +1,234 @@
+"""Compressed-sparse-row graph storage.
+
+:class:`CSRGraph` is the central data structure of the library. It holds
+an adjacency structure in two NumPy arrays:
+
+- ``indptr``  — ``int64`` array of length ``n + 1``; the out-neighbours of
+  vertex ``v`` live in ``indices[indptr[v]:indptr[v + 1]]``.
+- ``indices`` — ``int32`` (or ``int64`` for > 2^31 vertices) array of
+  length ``m`` holding neighbour ids.
+
+Undirected graphs are stored *symmetrised*: each undirected edge
+``{u, v}`` occupies two arcs, ``u→v`` and ``v→u``. This matches how
+Gemini and KnightKing lay out social graphs, and it means "the number of
+edges of a subgraph" in the paper's sense — the out-edges travelling
+with each assigned vertex — is simply the sum of out-degrees over the
+subgraph's vertices.
+
+All accessors return views, never copies, so iterating partitions over a
+multi-million-arc graph allocates nothing (see the hpc-parallel guide:
+"use views, not copies").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+
+def _index_dtype(num_vertices: int) -> np.dtype:
+    """Smallest integer dtype able to index ``num_vertices`` vertices."""
+    return np.dtype(np.int32) if num_vertices <= np.iinfo(np.int32).max else np.dtype(np.int64)
+
+
+class CSRGraph:
+    """Immutable CSR adjacency structure.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` offsets array of length ``num_vertices + 1``. ``indptr[0]``
+        must be 0 and the array must be non-decreasing.
+    indices:
+        Neighbour ids, length ``indptr[-1]``.
+    directed:
+        ``False`` (default) marks the graph as an undirected graph stored
+        symmetrically; ``True`` marks a genuinely directed graph. The flag
+        only affects edge *counting* (``num_undirected_edges``) and IO —
+        the adjacency layout is identical.
+    validate:
+        When ``True`` (default), structural invariants are checked once at
+        construction; disable for trusted internal callers on hot paths.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_directed", "_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        directed: bool = False,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices)
+        if indices.dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+            indices = indices.astype(_index_dtype(max(indptr.size - 1, 1)))
+        self._indptr = indptr
+        self._indices = indices
+        self._directed = bool(directed)
+        self._degrees: np.ndarray | None = None
+        if validate:
+            self.validate()
+        # Freeze the backing arrays: CSRGraph is shared across partitioners
+        # and engines, so accidental in-place mutation must fail loudly.
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphFormatError`."""
+        if self._indptr.ndim != 1 or self._indptr.size < 1:
+            raise GraphFormatError("indptr must be a 1-D array of length >= 1")
+        if self._indptr[0] != 0:
+            raise GraphFormatError(f"indptr[0] must be 0, got {self._indptr[0]}")
+        if np.any(np.diff(self._indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self._indptr[-1] != self._indices.size:
+            raise GraphFormatError(
+                f"indptr[-1] ({self._indptr[-1]}) must equal len(indices) ({self._indices.size})"
+            )
+        n = self.num_vertices
+        if self._indices.size and (
+            self._indices.min() < 0 or self._indices.max() >= n
+        ):
+            raise GraphFormatError("indices reference vertex ids outside [0, num_vertices)")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored arcs ``m`` (undirected edges count twice)."""
+        return self._indices.size
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Number of logical edges: ``m / 2`` for undirected graphs."""
+        return self._indices.size if self._directed else self._indices.size // 2
+
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is genuinely directed."""
+        return self._directed
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR offsets array (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only neighbour array (length ``m``)."""
+        return self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (computed once, then cached)."""
+        if self._degrees is None:
+            deg = np.diff(self._indptr)
+            deg.setflags(write=False)
+            self._degrees = deg
+        return self._degrees
+
+    @property
+    def avg_degree(self) -> float:
+        """Average out-degree ``m / n`` (the paper's ``d̄``)."""
+        n = self.num_vertices
+        return float(self.num_edges) / n if n else 0.0
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbours of ``v`` as a zero-copy view."""
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Out-degree of a single vertex."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, targets)`` arrays covering every stored arc.
+
+        ``sources`` is materialised with :func:`numpy.repeat`; ``targets``
+        is the ``indices`` array itself (a view).
+        """
+        sources = np.repeat(
+            np.arange(self.num_vertices, dtype=self._indices.dtype), self.degrees
+        )
+        return sources, self._indices
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(u, v)`` arcs. For tests and tiny graphs only."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                yield u, int(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether arc ``u→v`` exists (binary search; neighbours sorted)."""
+        nbrs = self.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and nbrs[i] == v
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """Transposed graph (in-neighbours become out-neighbours).
+
+        For symmetrised undirected graphs this is an equal graph.
+        """
+        n = self.num_vertices
+        src, dst = self.edge_array()
+        order = np.argsort(dst, kind="stable")
+        new_indices = src[order]
+        counts = np.bincount(dst, minlength=n)
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        return CSRGraph(new_indptr, new_indices, directed=self._directed, validate=False)
+
+    def with_sorted_neighbors(self) -> "CSRGraph":
+        """Copy with each neighbour list sorted ascending.
+
+        Required by :meth:`has_edge` and by node2vec's rejection sampling
+        (membership tests). Builders already sort; this is for graphs
+        assembled manually.
+        """
+        indices = self._indices.copy()
+        for v in range(self.num_vertices):
+            s, e = self._indptr[v], self._indptr[v + 1]
+            indices[s:e] = np.sort(indices[s:e])
+        return CSRGraph(self._indptr, indices, directed=self._directed, validate=False)
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self._directed == other._directed
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return (
+            f"CSRGraph(n={self.num_vertices}, arcs={self.num_edges}, "
+            f"{kind}, avg_degree={self.avg_degree:.2f})"
+        )

@@ -1,0 +1,109 @@
+"""Subgraph extraction from partitions.
+
+After partitioning, each simulated machine owns the induced subgraph of
+its vertex set plus knowledge of which neighbours are remote. This
+module materialises those per-part structures and is also the basis of
+the §3.3 connectivity experiment (edge connections between pieces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Subgraph", "extract_subgraph", "partition_subgraphs"]
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """One machine's share of a partitioned graph.
+
+    Attributes
+    ----------
+    graph:         induced CSR over local vertices only (relabelled 0..k).
+    global_ids:    local id → original vertex id.
+    local_of:      original id → local id (−1 for non-members).
+    num_cut_arcs:  arcs from a local vertex to a remote vertex.
+    num_total_arcs: all arcs leaving local vertices (local + cut); the
+                    paper's ``|E_i|``.
+    """
+
+    graph: CSRGraph
+    global_ids: np.ndarray
+    local_of: np.ndarray
+    num_cut_arcs: int
+    num_total_arcs: int
+
+    @property
+    def num_vertices(self) -> int:
+        """The paper's ``|V_i|``."""
+        return self.graph.num_vertices
+
+
+def extract_subgraph(graph: CSRGraph, members: np.ndarray) -> Subgraph:
+    """Induce the subgraph over ``members`` (a vertex-id array or mask)."""
+    n = graph.num_vertices
+    members = np.asarray(members)
+    if members.dtype == bool:
+        if members.size != n:
+            raise PartitionError("boolean membership mask has wrong length")
+        ids = np.nonzero(members)[0].astype(np.int64)
+        mask = members
+    else:
+        ids = np.unique(members.astype(np.int64))
+        if ids.size and (ids[0] < 0 or ids[-1] >= n):
+            raise PartitionError("membership ids outside vertex range")
+        mask = np.zeros(n, dtype=bool)
+        mask[ids] = True
+
+    local_of = np.full(n, -1, dtype=np.int64)
+    local_of[ids] = np.arange(ids.size)
+
+    indptr, indices = graph.indptr, graph.indices
+    starts, ends = indptr[ids], indptr[ids + 1]
+    total_arcs = int((ends - starts).sum())
+
+    # Gather all arcs of the member vertices, then keep only local targets
+    # for the induced adjacency. Vectorised via a flat arc-slot index.
+    slot_ranges = [indices[s:e] for s, e in zip(starts, ends)]
+    if slot_ranges:
+        targets = np.concatenate(slot_ranges) if total_arcs else np.empty(0, indices.dtype)
+    else:
+        targets = np.empty(0, indices.dtype)
+    src_local = np.repeat(np.arange(ids.size), (ends - starts))
+    local_mask = mask[targets] if targets.size else np.empty(0, dtype=bool)
+    cut_arcs = int(total_arcs - local_mask.sum())
+
+    kept_src = src_local[local_mask]
+    kept_dst = local_of[targets[local_mask]]
+    counts = np.bincount(kept_src, minlength=ids.size)
+    new_indptr = np.zeros(ids.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_indptr[1:])
+    # kept arcs are already grouped by source (we walked sources in order);
+    # sort neighbour lists per source for has_edge support.
+    order = np.lexsort((kept_dst, kept_src))
+    sub = CSRGraph(
+        new_indptr,
+        kept_dst[order].astype(np.int32 if ids.size <= 2**31 - 1 else np.int64),
+        directed=graph.directed,
+        validate=False,
+    )
+    return Subgraph(
+        graph=sub,
+        global_ids=ids,
+        local_of=local_of,
+        num_cut_arcs=cut_arcs,
+        num_total_arcs=total_arcs,
+    )
+
+
+def partition_subgraphs(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> list[Subgraph]:
+    """Extract every part's :class:`Subgraph` from an assignment vector."""
+    parts = np.asarray(parts)
+    if parts.size != graph.num_vertices:
+        raise PartitionError("assignment length != num_vertices")
+    return [extract_subgraph(graph, parts == p) for p in range(num_parts)]

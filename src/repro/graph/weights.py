@@ -1,0 +1,134 @@
+"""Edge weights as a CSR-aligned companion array.
+
+:class:`~repro.graph.csr.CSRGraph` stores topology only (like Gemini's
+and KnightKing's base layouts). Weighted workloads — biased random
+walks, weighted SSSP — attach an :class:`EdgeWeights` object whose
+``values`` array aligns slot-for-slot with ``graph.indices``: the weight
+of arc ``indices[i]`` (out of whatever vertex owns slot ``i``) is
+``values[i]``.
+
+For undirected graphs the helper constructors keep the two arcs of each
+edge weight-symmetric, which random-walk reversibility arguments (and
+the tests) rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import as_rng
+
+__all__ = ["EdgeWeights"]
+
+
+class EdgeWeights:
+    """Non-negative per-arc weights aligned with ``graph.indices``."""
+
+    __slots__ = ("_graph", "_values")
+
+    def __init__(self, graph: CSRGraph, values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.shape != (graph.num_edges,):
+            raise GraphFormatError(
+                f"weights length {values.shape} != num arcs {graph.num_edges}"
+            )
+        if values.size and values.min() < 0:
+            raise GraphFormatError("edge weights must be non-negative")
+        self._graph = graph
+        self._values = values
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        return self._graph
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only weight array (length ``m``, slot-aligned)."""
+        return self._values
+
+    def of(self, v: int) -> np.ndarray:
+        """Weights of ``v``'s out-arcs (zero-copy view)."""
+        return self._values[self._graph.indptr[v] : self._graph.indptr[v + 1]]
+
+    @property
+    def weighted_degrees(self) -> np.ndarray:
+        """Σ of out-arc weights per vertex."""
+        g = self._graph
+        out = np.zeros(g.num_vertices)
+        if g.num_edges:
+            nonzero = g.degrees > 0
+            out[nonzero] = np.add.reduceat(self._values, g.indptr[:-1][nonzero])
+        return out
+
+    def is_symmetric(self, *, atol: float = 1e-12) -> bool:
+        """Whether w(u→v) == w(v→u) for every stored arc pair.
+
+        Only meaningful for symmetrised undirected graphs; O(m log d̄).
+        """
+        g = self._graph
+        for u in range(g.num_vertices):
+            nbrs = g.neighbors(u)
+            w_uv = self.of(u)
+            for j, v in enumerate(nbrs):
+                rev = g.neighbors(int(v))
+                i = int(np.searchsorted(rev, u))
+                if i >= rev.size or rev[i] != u:
+                    return False
+                if abs(self.of(int(v))[i] - w_uv[j]) > atol:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, graph: CSRGraph, value: float = 1.0) -> "EdgeWeights":
+        """All arcs share one weight."""
+        if value < 0:
+            raise GraphFormatError("edge weights must be non-negative")
+        return cls(graph, np.full(graph.num_edges, float(value)))
+
+    @classmethod
+    def random(
+        cls, graph: CSRGraph, *, low: float = 0.5, high: float = 1.5, rng=None
+    ) -> "EdgeWeights":
+        """Uniform-random *symmetric* weights in ``[low, high]``.
+
+        Each undirected edge draws one weight shared by both arcs, so
+        the result passes :meth:`is_symmetric`.
+        """
+        if not (0 <= low <= high):
+            raise GraphFormatError(f"need 0 <= low <= high, got {low}, {high}")
+        rng = as_rng(rng)
+        g = graph
+        values = np.empty(g.num_edges)
+        src, dst = g.edge_array()
+        # One draw per unordered pair, assigned to both arcs. Key by the
+        # canonical (min, max) pair and hash it into a reproducible
+        # uniform via the drawn table.
+        lo = np.minimum(src, dst).astype(np.int64)
+        hi = np.maximum(src, dst).astype(np.int64)
+        key = lo * np.int64(g.num_vertices) + hi
+        uniq, inverse = np.unique(key, return_inverse=True)
+        draws = rng.uniform(low, high, size=uniq.size)
+        values[:] = draws[inverse]
+        return cls(graph, values)
+
+    @classmethod
+    def degree_proportional(cls, graph: CSRGraph) -> "EdgeWeights":
+        """w(u→v) = deg(v): walks become degree-biased (hub-seeking).
+
+        Not symmetric by construction; useful for stressing the
+        weighted-walk machinery.
+        """
+        return cls(graph, graph.degrees[graph.indices].astype(np.float64))
+
+    def __repr__(self) -> str:
+        if self._values.size == 0:
+            return "EdgeWeights(empty)"
+        return (
+            f"EdgeWeights(m={self._values.size}, "
+            f"range=[{self._values.min():.3g}, {self._values.max():.3g}])"
+        )

@@ -1,0 +1,111 @@
+"""Partition assignment vector with cached per-part statistics.
+
+A partition of graph ``G`` into ``k`` parts is a vector ``parts`` of
+length ``n`` with values in ``[0, k)``. :class:`PartitionAssignment`
+wraps that vector together with the graph and lazily caches the two
+quantities the whole paper revolves around: per-part vertex counts
+``|V_i|`` and per-part edge counts ``|E_i|`` (the sum of out-degrees of
+the part's vertices, i.e. the arcs each machine stores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["PartitionAssignment"]
+
+
+class PartitionAssignment:
+    """An immutable vertex → part mapping plus derived statistics."""
+
+    __slots__ = ("_graph", "_parts", "_num_parts", "_vcounts", "_ecounts")
+
+    def __init__(self, graph: CSRGraph, parts: np.ndarray, num_parts: int) -> None:
+        parts = np.ascontiguousarray(parts, dtype=np.int32)
+        if parts.size != graph.num_vertices:
+            raise PartitionError(
+                f"assignment length {parts.size} != num_vertices {graph.num_vertices}"
+            )
+        if num_parts <= 0:
+            raise PartitionError(f"num_parts must be positive, got {num_parts}")
+        if parts.size and (parts.min() < 0 or parts.max() >= num_parts):
+            raise PartitionError("part ids outside [0, num_parts)")
+        self._graph = graph
+        self._parts = parts
+        self._parts.setflags(write=False)
+        self._num_parts = int(num_parts)
+        self._vcounts: np.ndarray | None = None
+        self._ecounts: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The partitioned graph."""
+        return self._graph
+
+    @property
+    def parts(self) -> np.ndarray:
+        """Read-only part-id vector of length ``n``."""
+        return self._parts
+
+    @property
+    def num_parts(self) -> int:
+        """Number of parts ``k``."""
+        return self._num_parts
+
+    @property
+    def vertex_counts(self) -> np.ndarray:
+        """``|V_i|`` for every part (length ``k``)."""
+        if self._vcounts is None:
+            self._vcounts = np.bincount(self._parts, minlength=self._num_parts).astype(
+                np.int64
+            )
+        return self._vcounts
+
+    @property
+    def edge_counts(self) -> np.ndarray:
+        """``|E_i|`` — arcs stored by each part = Σ out-degree over V_i."""
+        if self._ecounts is None:
+            self._ecounts = np.bincount(
+                self._parts, weights=self._graph.degrees, minlength=self._num_parts
+            ).astype(np.int64)
+        return self._ecounts
+
+    def vertices_of(self, part: int) -> np.ndarray:
+        """Vertex ids assigned to ``part``."""
+        return np.nonzero(self._parts == part)[0]
+
+    def relabel(self, mapping: np.ndarray, num_parts: int) -> "PartitionAssignment":
+        """Apply ``old part id → new part id`` (the combining phase).
+
+        ``mapping`` has length ``self.num_parts``; the result has
+        ``num_parts`` parts.
+        """
+        mapping = np.asarray(mapping, dtype=np.int32)
+        if mapping.size != self._num_parts:
+            raise PartitionError(
+                f"mapping length {mapping.size} != num_parts {self._num_parts}"
+            )
+        return PartitionAssignment(self._graph, mapping[self._parts], num_parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionAssignment):
+            return NotImplemented
+        return (
+            self._num_parts == other._num_parts
+            and self._graph == other._graph
+            and np.array_equal(self._parts, other._parts)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        v, e = self.vertex_counts, self.edge_counts
+        return (
+            f"PartitionAssignment(k={self._num_parts}, "
+            f"|V_i|∈[{v.min()},{v.max()}], |E_i|∈[{e.min()},{e.max()}])"
+        )

@@ -1,0 +1,110 @@
+"""Partitioner interface and registry.
+
+Every partitioner implements :meth:`Partitioner.partition` and returns a
+:class:`PartitionResult` carrying the assignment, wall-clock breakdown
+(Table 2 measures this), and algorithm-specific metadata such as BPart's
+layer trace. The registry lets the bench harness and CLI look up
+partitioners by the names the paper uses ("chunk-v", "fennel", …).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, PartitionError
+from repro.graph.csr import CSRGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.utils.timing import WallClock
+
+__all__ = ["Partitioner", "PartitionResult", "register_partitioner", "get_partitioner", "available_partitioners"]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one partitioning run.
+
+    Attributes
+    ----------
+    assignment: the vertex → part mapping with cached stats.
+    clock:      wall-clock segments ("stream", "combine", …).
+    metadata:   algorithm-specific extras (BPart: per-layer trace).
+    """
+
+    assignment: PartitionAssignment
+    clock: WallClock = field(default_factory=WallClock)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Total partitioning wall-clock seconds (Table 2's metric).
+
+        The base class always records a ``"total"`` segment wrapping the
+        whole run; subclass segments ("stream", "combine") nest inside
+        it and are a breakdown, not additional time.
+        """
+        segments = self.clock.segments
+        return segments.get("total", self.clock.total)
+
+
+class Partitioner(abc.ABC):
+    """Base class: validates arguments, times the run, delegates to
+    :meth:`_partition`."""
+
+    #: registry name; subclasses set this (e.g. ``"bpart"``).
+    name: str = "base"
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> PartitionResult:
+        """Partition ``graph`` into ``num_parts`` parts.
+
+        Raises :class:`PartitionError` for impossible requests (more
+        parts than vertices) so downstream balance math never divides by
+        an empty part set.
+        """
+        if num_parts <= 0:
+            raise ConfigurationError(f"num_parts must be positive, got {num_parts}")
+        if num_parts > max(graph.num_vertices, 1):
+            raise PartitionError(
+                f"cannot split {graph.num_vertices} vertices into {num_parts} parts"
+            )
+        clock = WallClock()
+        with clock.measure("total"):
+            assignment, metadata = self._partition(graph, int(num_parts), clock)
+        return PartitionResult(assignment=assignment, clock=clock, metadata=metadata)
+
+    @abc.abstractmethod
+    def _partition(
+        self, graph: CSRGraph, num_parts: int, clock: WallClock
+    ) -> tuple[PartitionAssignment, dict[str, Any]]:
+        """Produce the assignment; subclasses may add clock segments."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, Callable[..., Partitioner]] = {}
+
+
+def register_partitioner(name: str, factory: Callable[..., Partitioner]) -> None:
+    """Register a partitioner factory under ``name`` (lowercase)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_partitioner(name: str, **kwargs) -> Partitioner:
+    """Instantiate a registered partitioner by paper name.
+
+    >>> get_partitioner("chunk-v").name
+    'chunk-v'
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown partitioner {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_partitioners() -> list[str]:
+    """Sorted registry names."""
+    return sorted(_REGISTRY)

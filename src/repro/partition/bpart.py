@@ -1,0 +1,208 @@
+"""BPart — the paper's two-dimensional balanced partitioner (§3).
+
+Two phases per layer:
+
+1. **Partitioning** (§3.2): a Fennel-style streaming pass whose balance
+   penalty uses the weighted indicator of Eq. 1,
+
+       W_i = c·|V_i| + (1 − c)·|E_i| / d̄,
+
+   plugged into the score of Eq. 2,
+
+       S(v, G_i) = |V_i ∩ N(v)| − α·γ·W_i^{γ−1}.
+
+   Because every part converges to equal ``W_i``, a part with fewer
+   vertices must hold more edges — the distributions come out *inversely
+   proportional* (Figure 8), which is exactly what makes them
+   combinable.
+
+2. **Combining** (§3.3): over-split into ``2^ℓ · N_r`` pieces at layer
+   ``ℓ``, pair smallest-|V| with largest-|V| for ``ℓ`` rounds, finalise
+   the merged subgraphs that hit both balance thresholds, recurse on the
+   rest (delegated to :func:`repro.partition.combine.multi_layer_combine`).
+
+The standalone :func:`weighted_stream_partition` exposes phase 1 alone —
+Figure 8 plots its output at 64 pieces.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition._streamcore import default_alpha, stream_partition
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner, register_partitioner
+from repro.partition.combine import multi_layer_combine
+from repro.utils.timing import WallClock
+from repro.utils.validation import check_fraction, check_positive, check_probability
+
+__all__ = ["BPartPartitioner", "weighted_stream_partition", "bpart_vertex_weights"]
+
+
+def bpart_vertex_weights(graph: CSRGraph, c: float) -> np.ndarray:
+    """Per-vertex load increments realising Eq. 1.
+
+    Assigning vertex ``v`` to part ``i`` adds 1 to ``|V_i|`` and
+    ``deg(v)`` to ``|E_i|``, hence adds ``c + (1 − c)·deg(v)/d̄`` to
+    ``W_i``. The weights sum to ``n`` (since Σdeg = n·d̄), so the
+    capacity bound matches Fennel's.
+    """
+    d_bar = graph.avg_degree
+    if d_bar == 0:
+        return np.ones(graph.num_vertices)
+    return c + (1.0 - c) * graph.degrees / d_bar
+
+
+def weighted_stream_partition(
+    graph: CSRGraph,
+    num_pieces: int,
+    *,
+    c: float = 0.5,
+    alpha: float | None = None,
+    gamma: float = 1.5,
+    slack: float = 1.1,
+    order: str = "natural",
+    rng=None,
+    passes: int = 1,
+) -> np.ndarray:
+    """Phase-1 streaming pass with the weighted indicator (Eq. 1 + 2)."""
+    check_probability("c", c)
+    if alpha is None:
+        alpha = default_alpha(graph, num_pieces)
+    return stream_partition(
+        graph,
+        num_pieces,
+        vertex_weights=bpart_vertex_weights(graph, c),
+        alpha=alpha,
+        gamma=gamma,
+        slack=slack,
+        order=order,
+        rng=rng,
+        passes=passes,
+    )
+
+
+class BPartPartitioner(Partitioner):
+    """The full two-phase BPart scheme.
+
+    Parameters
+    ----------
+    c:
+        Weighting factor of Eq. 1 between vertex and edge balance.
+        ``c = 1`` degenerates to Fennel's vertex indicator, ``c = 0`` to
+        a pure edge indicator; the paper's empirical default is ½.
+    balance_threshold:
+        ε of the combining phase: a merged subgraph is final when both
+        ``|V_i|`` and ``|E_i|`` are within ``(1 ± ε)`` of target.
+    max_layers:
+        Combination layer cap (the paper observes 2–3 layers suffice).
+    oversplit_base:
+        Pieces per target per combine round (paper: 2).
+    base_rounds:
+        Combine rounds in the first layer (default 2, i.e. 4N pieces;
+        see :func:`repro.partition.combine.multi_layer_combine`).
+    alpha, gamma, slack, order:
+        Streaming-score knobs shared with Fennel.
+    passes:
+        Re-streaming passes per phase-1 invocation (ReFennel-style).
+    refine:
+        Run balance-preserving FM-style boundary refinement
+        (:func:`repro.partition.refine.refine_assignment`) after the
+        combining phase: trades the residual balance slack (up to the
+        ε envelope) for a lower edge cut.
+    """
+
+    name = "bpart"
+
+    def __init__(
+        self,
+        *,
+        c: float = 0.5,
+        balance_threshold: float = 0.1,
+        max_layers: int = 3,
+        oversplit_base: int = 2,
+        base_rounds: int = 2,
+        alpha: float | None = None,
+        gamma: float = 1.5,
+        slack: float = 1.1,
+        order: str = "natural",
+        seed: int | None = None,
+        passes: int = 1,
+        refine: bool = False,
+    ) -> None:
+        check_probability("c", c)
+        check_positive("passes", passes)
+        self._passes = int(passes)
+        self._refine = bool(refine)
+        check_fraction("balance_threshold", balance_threshold)
+        check_positive("max_layers", max_layers)
+        if oversplit_base < 2:
+            raise ValueError("oversplit_base must be >= 2")
+        check_positive("base_rounds", base_rounds)
+        self._base_rounds = int(base_rounds)
+        self._c = c
+        self._threshold = balance_threshold
+        self._max_layers = int(max_layers)
+        self._oversplit = int(oversplit_base)
+        self._alpha = alpha
+        self._gamma = gamma
+        self._slack = slack
+        self._order = order
+        self._seed = seed
+
+    def _partition(
+        self, graph: CSRGraph, num_parts: int, clock: WallClock
+    ) -> tuple[PartitionAssignment, dict[str, Any]]:
+        def phase1(sub: CSRGraph, pieces: int) -> np.ndarray:
+            with clock.measure("stream"):
+                return weighted_stream_partition(
+                    sub,
+                    pieces,
+                    c=self._c,
+                    alpha=self._alpha,
+                    gamma=self._gamma,
+                    slack=self._slack,
+                    order=self._order,
+                    rng=self._seed,
+                    passes=self._passes,
+                )
+
+        with clock.measure("combine"):
+            parts, traces = multi_layer_combine(
+                graph,
+                phase1,
+                num_parts,
+                oversplit_base=self._oversplit,
+                base_rounds=self._base_rounds,
+                balance_threshold=self._threshold,
+                max_layers=self._max_layers,
+            )
+        metadata = {
+            "c": self._c,
+            "layers": [
+                {
+                    "layer": t.layer,
+                    "pieces": t.num_pieces,
+                    "finalized": list(t.finalized),
+                    "vertex_bias": t.vertex_bias_after,
+                    "edge_bias": t.edge_bias_after,
+                }
+                for t in traces
+            ],
+        }
+        assignment = PartitionAssignment(graph, parts, num_parts)
+        if self._refine:
+            from repro.partition.refine import refine_assignment
+
+            with clock.measure("refine"):
+                assignment = refine_assignment(
+                    assignment, epsilon=self._threshold, rounds=5
+                )
+            metadata["refined"] = True
+        return assignment, metadata
+
+
+register_partitioner("bpart", BPartPartitioner)

@@ -1,0 +1,140 @@
+"""Balance and cut metrics (§4.1 of the paper).
+
+- ``Bias = (max(x) − mean(x)) / mean(x)`` — chosen because BSP iteration
+  time is set by the *slowest* machine (Figure 10 plots this for both
+  dimensions).
+- ``Fairness = (Σ x)² / (n · Σ x²)`` — Jain's fairness index ∈ [1/n, 1]
+  (Figure 11).
+- ``edge_cut_ratio`` — cut arcs / total arcs (Table 3, Figure 5a).
+- ``connectivity_matrix`` — arcs between each pair of parts, used by the
+  §3.3 argument that combined pieces stay well connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.partition.assignment import PartitionAssignment
+
+__all__ = [
+    "bias",
+    "jains_fairness",
+    "part_vertex_counts",
+    "part_edge_counts",
+    "edge_cut_ratio",
+    "connectivity_matrix",
+    "BalanceReport",
+    "balance_report",
+]
+
+
+def bias(values) -> float:
+    """``(max − mean) / mean`` of a non-negative sequence.
+
+    0 means perfectly balanced; the paper reports up to ≈9 for the
+    imbalanced dimension of 1-D algorithms and < 0.1 for BPart.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise PartitionError("bias of an empty sequence is undefined")
+    mean = x.mean()
+    if mean == 0:
+        return 0.0
+    return float((x.max() - mean) / mean)
+
+
+def jains_fairness(values) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` ∈ [1/n, 1]."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise PartitionError("fairness of an empty sequence is undefined")
+    sq_sum = float((x * x).sum())
+    if sq_sum == 0:
+        return 1.0  # all-zero loads are (vacuously) perfectly fair
+    total = float(x.sum())
+    return total * total / (x.size * sq_sum)
+
+
+def part_vertex_counts(parts: np.ndarray, num_parts: int) -> np.ndarray:
+    """``|V_i|`` from a raw assignment vector."""
+    return np.bincount(np.asarray(parts), minlength=num_parts).astype(np.int64)
+
+
+def part_edge_counts(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> np.ndarray:
+    """``|E_i|`` (arcs stored per part) from a raw assignment vector."""
+    return np.bincount(
+        np.asarray(parts), weights=graph.degrees, minlength=num_parts
+    ).astype(np.int64)
+
+
+def edge_cut_ratio(graph: CSRGraph, parts: np.ndarray) -> float:
+    """Fraction of arcs whose endpoints lie in different parts.
+
+    For symmetrised undirected storage this equals the fraction of
+    undirected edges cut, which is what Table 3 reports.
+    """
+    parts = np.asarray(parts)
+    if parts.size != graph.num_vertices:
+        raise PartitionError("assignment length != num_vertices")
+    if graph.num_edges == 0:
+        return 0.0
+    src, dst = graph.edge_array()
+    return float(np.mean(parts[src] != parts[dst]))
+
+
+def connectivity_matrix(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> np.ndarray:
+    """``k × k`` matrix of arc counts between part pairs.
+
+    ``M[i, j]`` counts arcs from a vertex in part ``i`` to a vertex in
+    part ``j``; the diagonal holds internal arcs. Symmetric for
+    undirected graphs. §3.3 checks ``min_{i≠j} M[i, j]`` is large.
+    """
+    parts = np.asarray(parts, dtype=np.int64)
+    if parts.size != graph.num_vertices:
+        raise PartitionError("assignment length != num_vertices")
+    src, dst = graph.edge_array()
+    flat = parts[src] * num_parts + parts[dst]
+    counts = np.bincount(flat, minlength=num_parts * num_parts)
+    return counts.reshape(num_parts, num_parts)
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """All paper balance metrics for one partition, in one place."""
+
+    num_parts: int
+    vertex_counts: np.ndarray
+    edge_counts: np.ndarray
+    vertex_bias: float
+    edge_bias: float
+    vertex_fairness: float
+    edge_fairness: float
+    cut_ratio: float
+
+    def __str__(self) -> str:
+        return (
+            f"k={self.num_parts} "
+            f"bias(V)={self.vertex_bias:.4f} bias(E)={self.edge_bias:.4f} "
+            f"fair(V)={self.vertex_fairness:.4f} fair(E)={self.edge_fairness:.4f} "
+            f"cut={self.cut_ratio:.4f}"
+        )
+
+
+def balance_report(assignment: PartitionAssignment) -> BalanceReport:
+    """Compute the full :class:`BalanceReport` for an assignment."""
+    v = assignment.vertex_counts
+    e = assignment.edge_counts
+    return BalanceReport(
+        num_parts=assignment.num_parts,
+        vertex_counts=v,
+        edge_counts=e,
+        vertex_bias=bias(v),
+        edge_bias=bias(e),
+        vertex_fairness=jains_fairness(v),
+        edge_fairness=jains_fairness(e),
+        cut_ratio=edge_cut_ratio(assignment.graph, assignment.parts),
+    )

@@ -1,0 +1,314 @@
+"""Mt-KaHIP-style offline multilevel partitioner (§4.2 comparison).
+
+The paper compares BPart against Mt-KaHIP, the state-of-the-art offline
+partitioner, and finds that although it balances vertices to bias ≈0.03,
+its edge counts stay imbalanced (bias 0.7–2.6). This module reproduces
+the algorithmic family:
+
+1. **Coarsening** — size-constrained label propagation clusters the
+   graph, clusters contract into weighted super-vertices; repeat until
+   the coarse graph is small.
+2. **Initial partition** — greedy balanced placement of super-vertices
+   (largest-processing-time rule with edge-affinity tie-breaking) on the
+   coarsest level, balancing *vertex weight* (the objective these tools
+   optimise).
+3. **Uncoarsening + local search** — project labels down each level and
+   run FM-style boundary refinement: move a boundary vertex to the
+   neighbouring part with the highest cut gain when the move keeps
+   vertex balance within ``(1 + ε)``.
+
+Vertex-balanced by construction; the resulting *edge* imbalance on
+scale-free graphs is the experiment's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import Partitioner, register_partitioner
+from repro.utils.rng import as_rng
+from repro.utils.timing import WallClock
+from repro.utils.validation import check_positive
+
+__all__ = ["MultilevelPartitioner"]
+
+
+@dataclass
+class _Level:
+    """One coarse graph: weighted CSR + mapping to the finer level."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    eweights: np.ndarray
+    vweights: np.ndarray
+    fine_to_coarse: np.ndarray  # finer-level vertex → this level's vertex
+
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+
+def _contract(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    eweights: np.ndarray,
+    vweights: np.ndarray,
+    labels: np.ndarray,
+) -> _Level:
+    """Contract clusters given by ``labels`` into a coarse weighted graph."""
+    # Compact labels to 0..c-1.
+    uniq, compact = np.unique(labels, return_inverse=True)
+    c = uniq.size
+    new_vweights = np.bincount(compact, weights=vweights, minlength=c)
+
+    src = np.repeat(np.arange(indptr.size - 1), np.diff(indptr))
+    csrc, cdst = compact[src], compact[indices]
+    keep = csrc != cdst  # drop intra-cluster arcs
+    csrc, cdst, w = csrc[keep], cdst[keep], eweights[keep]
+    if csrc.size:
+        key = csrc.astype(np.int64) * c + cdst
+        order = np.argsort(key, kind="stable")
+        key, w = key[order], w[order]
+        boundaries = np.empty(key.size, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(key[1:], key[:-1], out=boundaries[1:])
+        starts = np.nonzero(boundaries)[0]
+        merged_w = np.add.reduceat(w, starts)
+        merged_key = key[starts]
+        msrc = (merged_key // c).astype(np.int64)
+        mdst = (merged_key % c).astype(np.int64)
+    else:
+        merged_w = np.empty(0, dtype=np.float64)
+        msrc = mdst = np.empty(0, dtype=np.int64)
+    counts = np.bincount(msrc, minlength=c)
+    new_indptr = np.zeros(c + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_indptr[1:])
+    return _Level(
+        indptr=new_indptr,
+        indices=mdst.astype(np.int64),
+        eweights=merged_w.astype(np.float64),
+        vweights=new_vweights.astype(np.float64),
+        fine_to_coarse=compact.astype(np.int64),
+    )
+
+
+def _label_propagation(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    eweights: np.ndarray,
+    vweights: np.ndarray,
+    max_cluster_weight: float,
+    rng,
+    iterations: int = 3,
+) -> np.ndarray:
+    """Size-constrained label propagation (Mt-KaHIP's coarsening engine).
+
+    Each vertex adopts the label with the heaviest incident edge weight
+    among clusters that still have room. Sequential within a pass (the
+    constraint is stateful); a handful of passes converge.
+    """
+    n = indptr.size - 1
+    labels = np.arange(n, dtype=np.int64)
+    cluster_w = vweights.copy().astype(np.float64)
+    for _ in range(iterations):
+        changed = 0
+        for v in rng.permutation(n):
+            s, e = indptr[v], indptr[v + 1]
+            if s == e:
+                continue
+            nbr_labels = labels[indices[s:e]]
+            w = eweights[s:e]
+            # Heaviest incident label (weighted vote).
+            uniq, inv = np.unique(nbr_labels, return_inverse=True)
+            votes = np.bincount(inv, weights=w)
+            cur = labels[v]
+            # Feasibility: moving v into cluster L must not overflow it.
+            feasible = (cluster_w[uniq] + vweights[v] <= max_cluster_weight) | (uniq == cur)
+            if not feasible.any():
+                continue
+            votes = np.where(feasible, votes, -np.inf)
+            best = uniq[int(np.argmax(votes))]
+            if best != cur:
+                cluster_w[cur] -= vweights[v]
+                cluster_w[best] += vweights[v]
+                labels[v] = best
+                changed += 1
+        if changed == 0:
+            break
+    return labels
+
+
+def _initial_partition(level: _Level, num_parts: int, slack: float) -> np.ndarray:
+    """LPT-with-affinity placement of coarse vertices into ``k`` parts."""
+    c = level.num_vertices
+    parts = np.full(c, -1, dtype=np.int32)
+    loads = np.zeros(num_parts, dtype=np.float64)
+    capacity = slack * level.vweights.sum() / num_parts
+    order = np.argsort(-level.vweights, kind="stable")
+    for v in order:
+        s, e = level.indptr[v], level.indptr[v + 1]
+        nbr_parts = parts[level.indices[s:e]]
+        mask = nbr_parts >= 0
+        affinity = np.zeros(num_parts)
+        if mask.any():
+            affinity = np.bincount(
+                nbr_parts[mask], weights=level.eweights[s:e][mask], minlength=num_parts
+            )
+        feasible = loads + level.vweights[v] <= capacity
+        score = affinity - loads * 1e-9  # affinity first, then lightest
+        if feasible.any():
+            score[~feasible] = -np.inf
+            choice = int(np.argmax(score))
+        else:
+            choice = int(np.argmin(loads))
+        parts[v] = choice
+        loads[choice] += level.vweights[v]
+    return parts
+
+
+def _refine(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    eweights: np.ndarray,
+    vweights: np.ndarray,
+    parts: np.ndarray,
+    num_parts: int,
+    slack: float,
+    rng,
+    passes: int = 2,
+) -> np.ndarray:
+    """FM-style greedy boundary refinement with a vertex-balance cap."""
+    loads = np.bincount(parts, weights=vweights, minlength=num_parts)
+    capacity = slack * vweights.sum() / num_parts
+    n = indptr.size - 1
+    for _ in range(passes):
+        src = np.repeat(np.arange(n), np.diff(indptr))
+        boundary = np.unique(src[parts[src] != parts[indices]])
+        moved = 0
+        for v in rng.permutation(boundary):
+            s, e = indptr[v], indptr[v + 1]
+            nbr_parts = parts[indices[s:e]]
+            conn = np.bincount(nbr_parts, weights=eweights[s:e], minlength=num_parts)
+            cur = parts[v]
+            gain = conn - conn[cur]
+            gain[cur] = 0.0
+            feasible = loads + vweights[v] <= capacity
+            feasible[cur] = True
+            gain[~feasible] = -np.inf
+            best = int(np.argmax(gain))
+            if best != cur and gain[best] > 0:
+                loads[cur] -= vweights[v]
+                loads[best] += vweights[v]
+                parts[v] = best
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+class MultilevelPartitioner(Partitioner):
+    """Coarsen → partition → refine, balanced on vertex count.
+
+    Parameters
+    ----------
+    slack:
+        Allowed vertex imbalance ``(1 + ε)``-style factor (default 1.03,
+        matching Mt-KaHIP's 3 % setting — the paper reports its vertex
+        bias as 0.03).
+    coarsest_size:
+        Stop coarsening when the coarse graph has at most
+        ``max(coarsest_size, 20·k)`` vertices.
+    """
+
+    name = "multilevel"
+
+    def __init__(
+        self,
+        *,
+        slack: float = 1.03,
+        coarsest_size: int = 200,
+        lp_iterations: int = 3,
+        refine_passes: int = 2,
+        seed: int = 0,
+    ) -> None:
+        check_positive("slack", slack)
+        check_positive("coarsest_size", coarsest_size)
+        self._slack = slack
+        self._coarsest = int(coarsest_size)
+        self._lp_iterations = int(lp_iterations)
+        self._refine_passes = int(refine_passes)
+        self._seed = seed
+
+    def _partition(
+        self, graph: CSRGraph, num_parts: int, clock: WallClock
+    ) -> tuple[PartitionAssignment, dict[str, Any]]:
+        rng = as_rng(self._seed)
+        indptr = graph.indptr.astype(np.int64)
+        indices = graph.indices.astype(np.int64)
+        eweights = np.ones(indices.size, dtype=np.float64)
+        vweights = np.ones(graph.num_vertices, dtype=np.float64)
+
+        levels: list[_Level] = []
+        target = max(self._coarsest, 20 * num_parts)
+        with clock.measure("coarsen"):
+            cur = (indptr, indices, eweights, vweights)
+            while cur[0].size - 1 > target:
+                n_cur = cur[0].size - 1
+                max_cluster = max(2.0, cur[3].sum() / target)
+                labels = _label_propagation(
+                    *cur, max_cluster_weight=max_cluster, rng=rng,
+                    iterations=self._lp_iterations,
+                )
+                level = _contract(*cur, labels)
+                if level.num_vertices >= n_cur * 0.95:  # stalled
+                    break
+                levels.append(level)
+                cur = (level.indptr, level.indices, level.eweights, level.vweights)
+
+        with clock.measure("initial"):
+            if levels:
+                parts = _initial_partition(levels[-1], num_parts, self._slack)
+            else:
+                # Graph already small: partition it directly as one level.
+                pseudo = _Level(indptr, indices, eweights, vweights,
+                                np.arange(graph.num_vertices))
+                parts = _initial_partition(pseudo, num_parts, self._slack)
+
+        with clock.measure("refine"):
+            # Project down through the levels, refining at each.
+            for i in range(len(levels) - 1, -1, -1):
+                level = levels[i]
+                if i == len(levels) - 1:
+                    coarse_parts = parts
+                parts_fine = coarse_parts[level.fine_to_coarse]
+                if i > 0:
+                    finer = levels[i - 1]
+                    parts_fine = _refine(
+                        finer.indptr, finer.indices, finer.eweights, finer.vweights,
+                        parts_fine, num_parts, self._slack, rng,
+                        passes=self._refine_passes,
+                    )
+                else:
+                    parts_fine = _refine(
+                        indptr, indices, eweights, vweights,
+                        parts_fine, num_parts, self._slack, rng,
+                        passes=self._refine_passes,
+                    )
+                coarse_parts = parts_fine
+            parts = coarse_parts if levels else _refine(
+                indptr, indices, eweights, vweights, parts, num_parts,
+                self._slack, rng, passes=self._refine_passes,
+            )
+
+        return (
+            PartitionAssignment(graph, parts.astype(np.int32), num_parts),
+            {"levels": len(levels)},
+        )
+
+
+register_partitioner("multilevel", MultilevelPartitioner)

@@ -1,0 +1,48 @@
+"""Vertex-cut (edge) partitioners — the other family from §5.
+
+The paper's related work splits partitioners into edge-cut (what BPart
+and all its baselines are) and *vertex-cut* algorithms
+[PowerGraph, HDRF, DBH, …], which "split the edge set into multiple
+disjoint partitions, and cut the vertices" — every vertex incident to
+edges in several parts is *replicated* there. This subpackage
+implements the standard members so the two families can be compared on
+the same graphs:
+
+- :class:`~repro.partition.vertexcut.random_edge.RandomEdgePartitioner` —
+  hash each edge (PowerGraph's default).
+- :class:`~repro.partition.vertexcut.dbh.DBHPartitioner` — degree-based
+  hashing: hash the *lower-degree* endpoint, replicating hubs (Xie et
+  al., NeurIPS 2014).
+- :class:`~repro.partition.vertexcut.grid.GridPartitioner` — 2-D grid
+  constraint limiting each vertex to √k + √k − 1 candidate parts
+  (GraphBuilder/PowerLyra style).
+- :class:`~repro.partition.vertexcut.hdrf.HDRFPartitioner` — streaming
+  High-Degree-Replicated-First scoring (Petroni et al., CIKM 2015).
+
+Quality metric: the *replication factor* (average copies per vertex),
+the vertex-cut analogue of the edge-cut ratio.
+"""
+
+from repro.partition.vertexcut.base import EdgePartition, EdgePartitioner, canonical_edges
+from repro.partition.vertexcut.dbh import DBHPartitioner
+from repro.partition.vertexcut.grid import GridPartitioner
+from repro.partition.vertexcut.hdrf import HDRFPartitioner
+from repro.partition.vertexcut.metrics import (
+    edge_balance_bias,
+    replication_factor,
+    vertex_copies,
+)
+from repro.partition.vertexcut.random_edge import RandomEdgePartitioner
+
+__all__ = [
+    "EdgePartition",
+    "EdgePartitioner",
+    "canonical_edges",
+    "RandomEdgePartitioner",
+    "DBHPartitioner",
+    "GridPartitioner",
+    "HDRFPartitioner",
+    "replication_factor",
+    "vertex_copies",
+    "edge_balance_bias",
+]

@@ -1,0 +1,36 @@
+"""Degree-Based Hashing (Xie et al., NeurIPS 2014).
+
+Hash each edge by its *lower-degree* endpoint. The low-degree vertex
+then has all its edges in one part (never replicated), while the hub
+endpoint absorbs the replication — provably better replication factors
+than random hashing on power-law graphs, with the same perfect edge
+balance in expectation. Fully vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.vertexcut.base import EdgePartitioner
+from repro.utils.rng import hash_u64
+
+__all__ = ["DBHPartitioner"]
+
+
+class DBHPartitioner(EdgePartitioner):
+    """Hash the lower-degree endpoint of each edge."""
+
+    name = "dbh"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    def _assign(
+        self, graph: CSRGraph, src: np.ndarray, dst: np.ndarray, num_parts: int
+    ) -> np.ndarray:
+        deg = graph.degrees
+        # tie-break on vertex id so the choice is deterministic
+        src_lower = (deg[src] < deg[dst]) | ((deg[src] == deg[dst]) & (src < dst))
+        anchor = np.where(src_lower, src, dst).astype(np.uint64)
+        return (hash_u64(anchor, self._seed) % np.uint64(num_parts)).astype(np.int32)

@@ -1,0 +1,56 @@
+"""2-D grid-constrained edge partitioning (GraphBuilder / PowerLyra).
+
+Arrange the ``k = r·c`` parts in an ``r × c`` grid. Vertex ``v`` hashes
+to a row ``R(v)`` and a column ``C(v)``; edge ``(u, v)`` may only be
+placed in the intersection cells of u's row/column with v's — here the
+classic variant: cell ``(R(u), C(v))``. Every vertex therefore appears
+in at most ``r + c − 1`` parts, bounding the replication factor by
+``O(√k)`` regardless of degree.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.partition.vertexcut.base import EdgePartitioner
+from repro.utils.rng import hash_u64
+
+__all__ = ["GridPartitioner"]
+
+
+def _grid_shape(k: int) -> tuple[int, int]:
+    """Most-square factorisation r × c = k with r ≤ c."""
+    r = int(math.isqrt(k))
+    while r > 1 and k % r:
+        r -= 1
+    return r, k // r
+
+
+class GridPartitioner(EdgePartitioner):
+    """Constrained 2-D hashing; replication ≤ r + c − 1 per vertex."""
+
+    name = "grid"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    def _assign(
+        self, graph: CSRGraph, src: np.ndarray, dst: np.ndarray, num_parts: int
+    ) -> np.ndarray:
+        r, c = _grid_shape(num_parts)
+        if r == 1:
+            # prime k degenerates to hashing one endpoint — warn via error
+            # only for k > 3 where the grid is the point of this scheme.
+            if num_parts > 3:
+                raise ConfigurationError(
+                    f"grid partitioner needs a composite part count, got prime {num_parts}"
+                )
+        rows = (hash_u64(src.astype(np.uint64), self._seed) % np.uint64(r)).astype(np.int64)
+        cols = (hash_u64(dst.astype(np.uint64), self._seed + 1) % np.uint64(c)).astype(
+            np.int64
+        )
+        return (rows * c + cols).astype(np.int32)

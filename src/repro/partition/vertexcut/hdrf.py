@@ -1,0 +1,95 @@
+"""HDRF — High-Degree (are) Replicated First (Petroni et al., CIKM 2015).
+
+Streaming edge partitioner scoring every part for each incoming edge:
+
+    C(u, v, p) = C_rep + λ · C_bal
+    C_rep      = g(u, p) + g(v, p)
+    g(x, p)    = (1 + (1 − θ(x))) if x already has a replica in p else 0
+    θ(u)       = d(u) / (d(u) + d(v))      (normalised partial degree)
+    C_bal      = (maxsize − size(p)) / (ε + maxsize − minsize)
+
+The degree-weighting makes the *low*-degree endpoint's existing replica
+worth more than the hub's, so hubs absorb the replication (like DBH)
+while the greedy replica-reuse term keeps the replication factor lower
+than any hashing scheme. Sequential by nature; the per-edge body is a
+handful of NumPy ops over ``k`` parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.partition.vertexcut.base import EdgePartitioner
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["HDRFPartitioner"]
+
+
+class HDRFPartitioner(EdgePartitioner):
+    """Streaming HDRF scoring.
+
+    Parameters
+    ----------
+    lam:
+        λ — weight of the balance term (the original paper evaluates
+        λ = 1.1; larger values trade replication for tighter balance).
+    slack:
+        Hard capacity factor ν: parts holding ≥ ν·m/k edges are excluded
+        from the argmax. Without a hard cap the greedy replica-reuse
+        term chains every edge of a connected graph into one part.
+    """
+
+    name = "hdrf"
+
+    def __init__(self, *, lam: float = 1.1, slack: float = 1.15) -> None:
+        check_nonnegative("lam", lam)
+        if slack < 1.0:
+            raise ConfigurationError(f"slack must be >= 1, got {slack}")
+        self._lam = float(lam)
+        self._slack = float(slack)
+
+    def _assign(
+        self, graph: CSRGraph, src: np.ndarray, dst: np.ndarray, num_parts: int
+    ) -> np.ndarray:
+        n = graph.num_vertices
+        k = num_parts
+        out = np.empty(src.size, dtype=np.int32)
+        # replica[v] is a k-bit mask of the parts v already lives in.
+        replicas = np.zeros(n, dtype=np.uint64) if k <= 64 else None
+        replica_table = None if k <= 64 else np.zeros((n, k), dtype=bool)
+        partial_degree = np.zeros(n, dtype=np.int64)
+        sizes = np.zeros(k, dtype=np.float64)
+        bit = (np.uint64(1) << np.arange(k, dtype=np.uint64)) if k <= 64 else None
+        eps = 1e-9
+        capacity = self._slack * max(src.size, 1) / k
+
+        for i in range(src.size):
+            u, v = int(src[i]), int(dst[i])
+            partial_degree[u] += 1
+            partial_degree[v] += 1
+            du, dv = partial_degree[u], partial_degree[v]
+            theta_u = du / (du + dv)
+            theta_v = 1.0 - theta_u
+            if replicas is not None:
+                in_u = (replicas[u] & bit) != 0
+                in_v = (replicas[v] & bit) != 0
+            else:
+                in_u = replica_table[u]
+                in_v = replica_table[v]
+            c_rep = in_u * (2.0 - theta_u) + in_v * (2.0 - theta_v)
+            maxsize, minsize = sizes.max(), sizes.min()
+            c_bal = (maxsize - sizes) / (eps + maxsize - minsize)
+            score = c_rep + self._lam * c_bal
+            score[sizes >= capacity] = -np.inf
+            p = int(np.argmax(score))
+            out[i] = p
+            sizes[p] += 1.0
+            if replicas is not None:
+                replicas[u] |= bit[p]
+                replicas[v] |= bit[p]
+            else:
+                replica_table[u, p] = True
+                replica_table[v, p] = True
+        return out

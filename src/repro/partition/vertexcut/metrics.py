@@ -1,0 +1,35 @@
+"""Quality metrics for vertex-cut partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.metrics import bias
+from repro.partition.vertexcut.base import EdgePartition
+
+__all__ = ["replication_factor", "vertex_copies", "edge_balance_bias"]
+
+
+def vertex_copies(partition: EdgePartition) -> np.ndarray:
+    """Copies per vertex (0 for isolated vertices)."""
+    return partition.copies
+
+
+def replication_factor(partition: EdgePartition) -> float:
+    """Average copies per non-isolated vertex.
+
+    1.0 means no vertex is ever cut (impossible for connected graphs at
+    k > 1); random hashing on power-law graphs approaches
+    ``k·(1 − (1 − 1/k)^d̄)``.
+    """
+    copies = partition.copies
+    active = copies[copies > 0]
+    if active.size == 0:
+        return 0.0
+    return float(active.mean())
+
+
+def edge_balance_bias(partition: EdgePartition) -> float:
+    """``(max − mean)/mean`` of edges per part — vertex-cut schemes'
+    balance dimension."""
+    return bias(partition.edge_counts)

@@ -1,0 +1,23 @@
+"""Shared utilities: RNG handling, timing, and validation helpers."""
+
+from repro.utils.rng import as_rng, derive_rng, spawn_rngs, splitmix64
+from repro.utils.timing import Timer, WallClock
+from repro.utils.validation import (
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_rng",
+    "derive_rng",
+    "spawn_rngs",
+    "splitmix64",
+    "Timer",
+    "WallClock",
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,81 @@
+"""Wall-clock timing helpers for the partition-overhead experiments.
+
+Table 2 of the paper reports the wall-clock cost of each partitioner.
+:class:`Timer` is a context manager that records elapsed seconds;
+:class:`WallClock` accumulates named segments so a multi-phase
+partitioner (BPart's partition + combine layers) can report a breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "WallClock"]
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class WallClock:
+    """Accumulates named wall-clock segments.
+
+    Segments with the same name accumulate, so per-layer timings of the
+    multi-layer combiner sum into one "combine" entry.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, float] = {}
+
+    def measure(self, name: str) -> "_Segment":
+        """Return a context manager adding its elapsed time to ``name``."""
+        return _Segment(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._segments[name] = self._segments.get(name, 0.0) + seconds
+
+    @property
+    def segments(self) -> dict[str, float]:
+        """Mapping of segment name to accumulated seconds (copy)."""
+        return dict(self._segments)
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all segments."""
+        return sum(self._segments.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.4f}s" for k, v in self._segments.items())
+        return f"WallClock({inner})"
+
+
+class _Segment:
+    def __init__(self, clock: WallClock, name: str) -> None:
+        self._clock = clock
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Segment":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._clock.add(self._name, time.perf_counter() - self._start)

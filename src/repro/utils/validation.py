@@ -1,0 +1,42 @@
+"""Parameter validation helpers.
+
+Small, uniform checks used across the public API so user mistakes fail
+fast with a :class:`~repro.errors.ConfigurationError` naming the
+offending parameter, instead of surfacing later as a cryptic NumPy
+broadcasting error deep in a hot loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_fraction",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Require ``0 <= value <= 1`` (inclusive both ends)."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def check_fraction(name: str, value: float) -> None:
+    """Require ``0 < value <= 1`` — a nonzero fraction of a whole."""
+    if not (0.0 < value <= 1.0):
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value!r}")

@@ -1,0 +1,58 @@
+"""Unit tests for table/series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import Series, Table, format_cell
+
+
+class TestFormatCell:
+    def test_int_grouping(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_small_float(self):
+        assert format_cell(0.12345) == "0.1235"
+
+    def test_large_float(self):
+        assert format_cell(12345.6) == "12,345.6"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_bool(self):
+        assert format_cell(True) == "True"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table("title", ["a", "bbb"], note="hello")
+        t.add_row(1, 2.5)
+        t.add_row(100, 0.25)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert "paper: hello" in out
+
+    def test_wrong_arity(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_table_renders(self):
+        t = Table("t", ["x"])
+        assert "x" in t.render()
+
+
+class TestSeries:
+    def test_render(self):
+        s = Series("line")
+        s.add(1, 0.5)
+        s.add(2, 0.25)
+        out = s.render()
+        assert out.startswith("line:")
+        assert "(1, 0.5000)" in out

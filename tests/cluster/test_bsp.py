@@ -1,0 +1,94 @@
+"""Unit tests for TrafficMatrix and BSPCluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import BSPCluster, CostModel, NetworkModel, TrafficMatrix
+from repro.errors import SimulationError
+
+
+class TestTrafficMatrix:
+    def test_from_pairs_drops_local(self):
+        tm = TrafficMatrix.from_pairs(3, np.array([0, 0, 1]), np.array([0, 1, 2]))
+        assert tm.total == 2
+        assert tm.counts[0, 1] == 1
+        assert tm.counts[1, 2] == 1
+        assert tm.counts[0, 0] == 0
+
+    def test_sent_received(self):
+        tm = TrafficMatrix.from_pairs(3, np.array([0, 0, 2]), np.array([1, 2, 1]))
+        assert list(tm.sent) == [2, 0, 1]
+        assert list(tm.received) == [0, 2, 1]
+
+    def test_add(self):
+        tm = TrafficMatrix(2)
+        tm.add(0, 1, 5)
+        tm.add(1, 1, 9)  # local: ignored
+        assert tm.total == 5
+
+    def test_iadd(self):
+        a = TrafficMatrix.from_pairs(2, np.array([0]), np.array([1]))
+        b = TrafficMatrix.from_pairs(2, np.array([0]), np.array([1]))
+        a += b
+        assert a.counts[0, 1] == 2
+
+    def test_machine_range_check(self):
+        with pytest.raises(SimulationError):
+            TrafficMatrix.from_pairs(2, np.array([0]), np.array([5]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            TrafficMatrix.from_pairs(2, np.array([0, 1]), np.array([1]))
+
+    def test_size_mismatch_iadd(self):
+        with pytest.raises(SimulationError):
+            TrafficMatrix(2).__iadd__(TrafficMatrix(3))
+
+
+class TestBSPCluster:
+    def test_superstep_accounting(self):
+        cl = BSPCluster(
+            2,
+            cost_model=CostModel(step_cost=1e-6, cores=1, edge_cost=0, vertex_cost=0),
+            network=NetworkModel(bandwidth=1e6, latency=0.0, message_bytes=1),
+        )
+        cl.begin_run()
+        tm = TrafficMatrix.from_pairs(2, np.array([0]), np.array([1]))
+        cl.superstep(steps=np.array([100.0, 50.0]), traffic=tm)
+        ledger = cl.ledger
+        assert ledger.num_iterations == 1
+        assert ledger.compute_matrix[0, 0] == pytest.approx(100e-6)
+        assert cl.total_messages == 1
+
+    def test_requires_begin_run(self):
+        cl = BSPCluster(2)
+        with pytest.raises(SimulationError):
+            cl.superstep()
+        with pytest.raises(SimulationError):
+            _ = cl.ledger
+
+    def test_begin_run_resets(self):
+        cl = BSPCluster(2)
+        cl.begin_run()
+        cl.superstep(steps=np.ones(2))
+        cl.begin_run()
+        assert cl.ledger.num_iterations == 0
+        assert cl.total_messages == 0
+
+    def test_traffic_size_check(self):
+        cl = BSPCluster(2)
+        cl.begin_run()
+        with pytest.raises(SimulationError):
+            cl.superstep(traffic=TrafficMatrix(3))
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(SimulationError):
+            BSPCluster(0)
+
+    def test_silent_superstep_pays_latency(self):
+        cl = BSPCluster(2, network=NetworkModel(latency=1e-3))
+        cl.begin_run()
+        cl.superstep()
+        assert cl.ledger.total_runtime == pytest.approx(1e-3)

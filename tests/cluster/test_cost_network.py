@@ -1,0 +1,55 @@
+"""Unit tests for cost and network models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import CostModel, NetworkModel
+from repro.errors import ConfigurationError
+
+
+class TestCostModel:
+    def test_scalar_arithmetic(self):
+        cm = CostModel(step_cost=1e-6, edge_cost=2e-6, vertex_cost=3e-6, cores=2)
+        t = cm.compute_seconds(steps=10, edges=5, vertices=1)
+        assert t == pytest.approx((10e-6 + 10e-6 + 3e-6) / 2)
+
+    def test_array_broadcast(self):
+        cm = CostModel(step_cost=1e-6, cores=1, edge_cost=0, vertex_cost=0)
+        t = cm.compute_seconds(steps=np.array([1.0, 2.0, 0.0]))
+        assert np.allclose(t, [1e-6, 2e-6, 0.0])
+
+    def test_defaults_physical(self):
+        cm = CostModel()
+        # a billion walker-steps on one machine ~ a second of work
+        assert 0.1 < cm.compute_seconds(steps=1e9) < 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(step_cost=-1)
+        with pytest.raises(ConfigurationError):
+            CostModel(cores=0)
+
+
+class TestNetworkModel:
+    def test_latency_floor(self):
+        nm = NetworkModel(latency=1e-3)
+        t = nm.comm_seconds(np.zeros(4), np.zeros(4))
+        assert np.allclose(t, 1e-3)
+
+    def test_bandwidth_term(self):
+        nm = NetworkModel(bandwidth=1e6, latency=0.0, message_bytes=100)
+        t = nm.comm_seconds(np.array([1000.0]), np.array([0.0]))
+        assert t[0] == pytest.approx(1000 * 100 / 1e6)
+
+    def test_full_duplex_max(self):
+        nm = NetworkModel(bandwidth=1e6, latency=0.0, message_bytes=1)
+        t = nm.comm_seconds(np.array([10.0]), np.array([500.0]))
+        assert t[0] == pytest.approx(500 / 1e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(message_bytes=0)

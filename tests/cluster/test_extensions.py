@@ -1,0 +1,103 @@
+"""Tests for cluster extensions: heterogeneous machines, overlap mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import BSPCluster, CostModel, NetworkModel, TimingLedger
+from repro.engines.gemini import GeminiEngine, PageRank
+from repro.errors import ConfigurationError
+from repro.graph import chung_lu
+from repro.partition import BPartPartitioner, HashPartitioner
+
+
+class TestHeterogeneousCores:
+    def test_array_cores_scale_compute(self):
+        cm = CostModel(step_cost=1e-6, edge_cost=0, vertex_cost=0, cores=[2, 1])
+        t = cm.compute_seconds(steps=np.array([100.0, 100.0]))
+        assert t[1] == pytest.approx(2 * t[0])
+
+    def test_cores_tuple_normalised(self):
+        cm = CostModel(cores=np.array([4, 8]))
+        assert cm.cores == (4, 8)
+        assert hash(cm)  # stays hashable (frozen dataclass)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(cores=[4, 0])
+        with pytest.raises(ConfigurationError):
+            CostModel(cores=0)
+
+    def test_straggler_dominates_waiting(self):
+        """A quarter-speed machine makes even a perfectly balanced
+        partition wait — heterogeneity the partitioner cannot fix.
+
+        Uses a latency-free network so compute dominates the schedule
+        (the default 50 µs barrier would mask the effect at test scale).
+        """
+        g = chung_lu(1500, 10.0, rng=70)
+        a = BPartPartitioner(seed=70).partition(g, 4).assignment
+        fast_net = NetworkModel(latency=0.0)
+        uniform = BSPCluster(4, cost_model=CostModel(cores=48), network=fast_net)
+        straggler = BSPCluster(
+            4, cost_model=CostModel(cores=[48, 48, 48, 12]), network=fast_net
+        )
+        r_uniform = GeminiEngine(uniform).run(g, a, PageRank(5))
+        r_straggler = GeminiEngine(straggler).run(g, a, PageRank(5))
+        assert (
+            r_straggler.ledger.waiting_ratio
+            > r_uniform.ledger.waiting_ratio + 0.2
+        )
+        assert r_straggler.runtime > r_uniform.runtime
+
+
+class TestOverlap:
+    def test_busy_is_max_when_overlapped(self):
+        ledger = TimingLedger(2, overlap=True)
+        it = ledger.record(np.array([3.0, 1.0]), np.array([1.0, 4.0]))
+        assert np.allclose(it.busy, [3.0, 4.0])
+        assert it.duration == pytest.approx(4.0)
+
+    def test_busy_is_sum_by_default(self):
+        ledger = TimingLedger(2)
+        it = ledger.record(np.array([3.0, 1.0]), np.array([1.0, 4.0]))
+        assert np.allclose(it.busy, [4.0, 5.0])
+
+    def test_overlap_never_slower(self):
+        g = chung_lu(1000, 10.0, rng=71)
+        a = HashPartitioner().partition(g, 4).assignment
+        plain = GeminiEngine(BSPCluster(4)).run(g, a, PageRank(5))
+        overlapped = GeminiEngine(BSPCluster(4, overlap=True)).run(g, a, PageRank(5))
+        assert overlapped.runtime <= plain.runtime + 1e-15
+
+    def test_overlap_gain_is_hidden_minimum(self):
+        """Overlap hides min(compute, comm) per machine per iteration;
+        on a comm-bound configuration the fractional gain equals the
+        compute share, so the *lower-cut* partition (more compute-bound)
+        gains at least as much as the cut-heavy one."""
+        g = chung_lu(1500, 12.0, rng=72)
+        slow_net = NetworkModel(bandwidth=5e7, latency=1e-6, message_bytes=64)
+        gains = {}
+        for name, part in (
+            ("hash", HashPartitioner()),
+            ("bpart", BPartPartitioner(seed=72)),
+        ):
+            a = part.partition(g, 4).assignment
+            plain = GeminiEngine(BSPCluster(4, network=slow_net)).run(g, a, PageRank(5))
+            over = GeminiEngine(BSPCluster(4, network=slow_net, overlap=True)).run(
+                g, a, PageRank(5)
+            )
+            gains[name] = 1.0 - over.runtime / plain.runtime
+        assert gains["hash"] > 0
+        assert gains["bpart"] >= gains["hash"] - 1e-9
+
+    def test_overlap_duration_is_max_of_components(self):
+        g = chung_lu(600, 8.0, rng=73)
+        a = HashPartitioner().partition(g, 4).assignment
+        res = GeminiEngine(BSPCluster(4, overlap=True)).run(g, a, PageRank(3))
+        ledger = res.ledger
+        expected = sum(
+            float(np.maximum(it.compute, it.comm).max()) for it in ledger.iterations
+        )
+        assert ledger.total_runtime == pytest.approx(expected)

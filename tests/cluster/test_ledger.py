@@ -1,0 +1,82 @@
+"""Unit tests for the BSP timing ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import TimingLedger
+from repro.errors import SimulationError
+
+
+class TestIterationTiming:
+    def test_duration_is_slowest_machine(self):
+        ledger = TimingLedger(3)
+        it = ledger.record(np.array([1.0, 2.0, 3.0]), np.array([0.5, 0.5, 0.5]))
+        assert it.duration == pytest.approx(3.5)
+        assert np.allclose(it.wait, [2.0, 1.0, 0.0])
+
+    def test_wait_nonnegative(self):
+        ledger = TimingLedger(4)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            it = ledger.record(rng.random(4), rng.random(4))
+            assert (it.wait >= -1e-12).all()
+
+
+class TestLedger:
+    def test_total_runtime_sums_durations(self):
+        ledger = TimingLedger(2)
+        ledger.record(np.array([1.0, 2.0]), np.zeros(2))
+        ledger.record(np.array([3.0, 1.0]), np.zeros(2))
+        assert ledger.total_runtime == pytest.approx(5.0)
+
+    def test_waiting_ratio_balanced_is_zero(self):
+        ledger = TimingLedger(4)
+        ledger.record(np.full(4, 2.0), np.zeros(4))
+        assert ledger.waiting_ratio == pytest.approx(0.0)
+
+    def test_waiting_ratio_single_worker(self):
+        ledger = TimingLedger(4)
+        ledger.record(np.array([4.0, 0.0, 0.0, 0.0]), np.zeros(4))
+        # three machines wait the whole superstep → 3/4
+        assert ledger.waiting_ratio == pytest.approx(0.75)
+
+    def test_waiting_ratio_bounds(self):
+        ledger = TimingLedger(5)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            ledger.record(rng.random(5), rng.random(5))
+        assert 0.0 <= ledger.waiting_ratio < 1.0
+
+    def test_empty_ledger(self):
+        ledger = TimingLedger(2)
+        assert ledger.total_runtime == 0.0
+        assert ledger.waiting_ratio == 0.0
+        assert ledger.compute_matrix.shape == (0, 2)
+
+    def test_matrices_shape(self):
+        ledger = TimingLedger(3)
+        for _ in range(4):
+            ledger.record(np.ones(3), np.ones(3))
+        assert ledger.compute_matrix.shape == (4, 3)
+        assert ledger.comm_matrix.shape == (4, 3)
+        assert ledger.wait_matrix.shape == (4, 3)
+
+    def test_shape_validation(self):
+        ledger = TimingLedger(3)
+        with pytest.raises(SimulationError):
+            ledger.record(np.ones(2), np.ones(3))
+
+    def test_negative_rejected(self):
+        ledger = TimingLedger(2)
+        with pytest.raises(SimulationError):
+            ledger.record(np.array([-1.0, 0.0]), np.zeros(2))
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(SimulationError):
+            TimingLedger(0)
+
+    def test_repr(self):
+        ledger = TimingLedger(2)
+        assert "machines=2" in repr(ledger)

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chung_lu,
+    complete_graph,
+    from_edges,
+    grid_graph,
+    path_graph,
+    ring_graph,
+    social_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle():
+    """K3: the smallest graph with a cycle."""
+    return from_edges([0, 1, 2], [1, 2, 0])
+
+
+@pytest.fixture
+def two_components():
+    """A triangle plus a disjoint edge (5 vertices, 2 components)."""
+    return from_edges([0, 1, 2, 3], [1, 2, 0, 4], num_vertices=5)
+
+
+@pytest.fixture
+def ring64():
+    return ring_graph(64)
+
+
+@pytest.fixture
+def path10():
+    return path_graph(10)
+
+
+@pytest.fixture
+def star16():
+    return star_graph(16)
+
+
+@pytest.fixture
+def grid8x8():
+    return grid_graph(8, 8)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)
+
+
+@pytest.fixture
+def powerlaw_small():
+    """~2k-vertex scale-free graph, the workhorse integration fixture."""
+    return chung_lu(2000, 12.0, 2.3, rng=123)
+
+
+@pytest.fixture
+def social_small():
+    """Social-style graph (degree-id correlation + locality)."""
+    return social_graph(1500, 10.0, 2.3, locality=0.3, rng=7)
+
+
+@pytest.fixture
+def isolated_vertices():
+    """Graph with trailing isolated vertices (edge cases for streams)."""
+    return from_edges([0, 1], [1, 2], num_vertices=6)

@@ -1,0 +1,297 @@
+"""Unit tests for the KnightKing-like walk engine and its apps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import BSPCluster
+from repro.engines.knightking import (
+    PPR,
+    RWD,
+    RWJ,
+    DeepWalk,
+    Node2Vec,
+    WalkEngine,
+    arcs_exist,
+    uniform_neighbor,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.graph import complete_graph, from_edges, path_graph, ring_graph, star_graph
+from repro.partition import ChunkVPartitioner, HashPartitioner
+
+
+def make_assignment(g, k=4, seed=0):
+    return HashPartitioner(seed=seed).partition(g, k).assignment
+
+
+class TestTransitionPrimitives:
+    def test_uniform_neighbor_valid(self, powerlaw_small):
+        rng = np.random.default_rng(0)
+        pos = rng.integers(0, powerlaw_small.num_vertices, size=500)
+        targets, dead = uniform_neighbor(powerlaw_small, pos, rng)
+        for p, t, d in zip(pos, targets, dead):
+            if not d:
+                assert powerlaw_small.has_edge(p, t)
+
+    def test_uniform_neighbor_dead_end(self, isolated_vertices):
+        rng = np.random.default_rng(0)
+        targets, dead = uniform_neighbor(isolated_vertices, np.array([5]), rng)
+        assert dead[0]
+        assert targets[0] == 5
+
+    def test_uniform_neighbor_distribution(self):
+        g = star_graph(4)  # hub 0 with leaves 1..4
+        rng = np.random.default_rng(1)
+        targets, _ = uniform_neighbor(g, np.zeros(40_000, dtype=np.int64), rng)
+        counts = np.bincount(targets, minlength=5)[1:]
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_arcs_exist_matches_has_edge(self, powerlaw_small):
+        rng = np.random.default_rng(2)
+        n = powerlaw_small.num_vertices
+        src = rng.integers(0, n, size=1000)
+        dst = rng.integers(0, n, size=1000)
+        got = arcs_exist(powerlaw_small, src, dst)
+        expected = np.array([powerlaw_small.has_edge(u, v) for u, v in zip(src, dst)])
+        assert np.array_equal(got, expected)
+
+    def test_arcs_exist_empty_graph(self):
+        g = from_edges([], [], num_vertices=3)
+        assert not arcs_exist(g, np.array([0]), np.array([1]))[0]
+
+
+class TestEngineBasics:
+    def test_paths_follow_edges(self, powerlaw_small):
+        a = make_assignment(powerlaw_small)
+        engine = WalkEngine(BSPCluster(4), seed=1, record_paths=True)
+        res = engine.run(powerlaw_small, a, DeepWalk(), walkers_per_vertex=1, max_steps=5)
+        for row in res.paths[:200]:
+            trace = row[row >= 0]
+            for u, v in zip(trace[:-1], trace[1:]):
+                assert powerlaw_small.has_edge(int(u), int(v))
+
+    def test_fixed_length_walks(self, k5):
+        a = make_assignment(k5, k=2)
+        engine = WalkEngine(BSPCluster(2), seed=1)
+        res = engine.run(k5, a, DeepWalk(), walkers_per_vertex=1, max_steps=4)
+        # K5 has no dead ends: every walker takes exactly 4 steps
+        assert res.total_steps == 5 * 4
+        assert res.num_supersteps == 4
+
+    def test_walkers_per_vertex(self, ring64):
+        a = make_assignment(ring64)
+        engine = WalkEngine(BSPCluster(4), seed=1)
+        res = engine.run(ring64, a, DeepWalk(), walkers_per_vertex=3, max_steps=2)
+        assert res.total_steps == 64 * 3 * 2
+
+    def test_explicit_starts(self, ring64):
+        a = make_assignment(ring64)
+        engine = WalkEngine(BSPCluster(4), seed=1, record_paths=True)
+        starts = np.array([0, 0, 7])
+        res = engine.run(ring64, a, DeepWalk(), start_vertices=starts, max_steps=1)
+        assert res.paths.shape[0] == 3
+        assert list(res.paths[:, 0]) == [0, 0, 7]
+
+    def test_steps_matrix_sums_to_total(self, powerlaw_small):
+        a = make_assignment(powerlaw_small)
+        engine = WalkEngine(BSPCluster(4), seed=1)
+        res = engine.run(powerlaw_small, a, DeepWalk(), walkers_per_vertex=2, max_steps=4)
+        assert int(res.steps_matrix.sum()) == res.total_steps
+
+    def test_deterministic_given_seed(self, powerlaw_small):
+        a = make_assignment(powerlaw_small)
+        r1 = WalkEngine(BSPCluster(4), seed=5).run(
+            powerlaw_small, a, DeepWalk(), walkers_per_vertex=1, max_steps=3
+        )
+        r2 = WalkEngine(BSPCluster(4), seed=5).run(
+            powerlaw_small, a, DeepWalk(), walkers_per_vertex=1, max_steps=3
+        )
+        assert np.array_equal(r1.final_positions, r2.final_positions)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            WalkEngine(BSPCluster(2), mode="async")
+
+    def test_cluster_size_mismatch(self, ring64):
+        a = make_assignment(ring64, k=4)
+        with pytest.raises(SimulationError):
+            WalkEngine(BSPCluster(2)).run(ring64, a, DeepWalk())
+
+    def test_invalid_steps(self, ring64):
+        a = make_assignment(ring64)
+        with pytest.raises(ConfigurationError):
+            WalkEngine(BSPCluster(4)).run(ring64, a, DeepWalk(), max_steps=0)
+
+    def test_messages_zero_single_machine(self, powerlaw_small):
+        a = HashPartitioner().partition(powerlaw_small, 1).assignment
+        res = WalkEngine(BSPCluster(1), seed=1).run(
+            powerlaw_small, a, DeepWalk(), walkers_per_vertex=1, max_steps=4
+        )
+        assert res.total_messages == 0
+
+
+class TestGreedyMode:
+    def test_fewer_supersteps_than_steps(self, ring64):
+        # contiguous chunks on a ring: walkers stay local for long runs
+        a = ChunkVPartitioner().partition(ring64, 4).assignment
+        res = WalkEngine(BSPCluster(4), seed=2, mode="greedy").run(
+            ring64, a, DeepWalk(), walkers_per_vertex=1, max_steps=8
+        )
+        assert res.num_supersteps < 8
+        assert res.total_steps == 64 * 8
+
+    def test_same_total_steps_as_sync(self, powerlaw_small):
+        a = make_assignment(powerlaw_small)
+        sync = WalkEngine(BSPCluster(4), seed=3).run(
+            powerlaw_small, a, DeepWalk(), walkers_per_vertex=1, max_steps=4
+        )
+        greedy = WalkEngine(BSPCluster(4), seed=3, mode="greedy").run(
+            powerlaw_small, a, DeepWalk(), walkers_per_vertex=1, max_steps=4
+        )
+        assert greedy.total_steps == sync.total_steps
+
+    @pytest.mark.parametrize("mode", ["step_sync", "greedy"])
+    def test_messages_equal_machine_crossings_in_paths(self, ring64, mode):
+        a = ChunkVPartitioner().partition(ring64, 4).assignment
+        res = WalkEngine(BSPCluster(4), seed=2, mode=mode, record_paths=True).run(
+            ring64, a, DeepWalk(), walkers_per_vertex=1, max_steps=8
+        )
+        parts = a.parts
+        crossings = 0
+        for row in res.paths:
+            trace = row[row >= 0]
+            crossings += int((parts[trace[:-1]] != parts[trace[1:]]).sum())
+        assert res.total_messages == crossings
+
+
+class TestApps:
+    def test_ppr_lengths_geometric(self, k5):
+        a = make_assignment(k5, k=2)
+        engine = WalkEngine(BSPCluster(2), seed=4, record_paths=True)
+        res = engine.run(
+            k5, a, PPR(stop_prob=0.5), walkers_per_vertex=2000, max_steps=50
+        )
+        lengths = (res.paths >= 0).sum(axis=1) - 1
+        # geometric with p=0.5 → mean 1 continuation... E[len] = (1-p)/p = 1
+        assert lengths.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_ppr_invalid_prob(self):
+        with pytest.raises(ConfigurationError):
+            PPR(stop_prob=1.5)
+
+    def test_rwj_jumps_leave_neighbors(self):
+        # On a path, jumps produce non-adjacent transitions.
+        g = path_graph(100)
+        a = make_assignment(g, k=2)
+        engine = WalkEngine(BSPCluster(2), seed=5, record_paths=True)
+        res = engine.run(g, a, RWJ(jump_prob=0.5), walkers_per_vertex=5, max_steps=4)
+        non_adjacent = 0
+        for row in res.paths:
+            trace = row[row >= 0]
+            for u, v in zip(trace[:-1], trace[1:]):
+                if not g.has_edge(int(u), int(v)):
+                    non_adjacent += 1
+        assert non_adjacent > 0
+
+    def test_rwj_rescues_dead_ends(self, isolated_vertices):
+        a = make_assignment(isolated_vertices, k=2)
+        engine = WalkEngine(BSPCluster(2), seed=6)
+        res = engine.run(
+            isolated_vertices,
+            a,
+            RWJ(jump_prob=1.0),
+            start_vertices=np.array([5, 5, 5]),
+            max_steps=3,
+        )
+        assert res.total_steps == 9  # always jumps, never terminates early
+
+    def test_rwd_prefers_high_degree(self):
+        g = star_graph(30)
+        a = make_assignment(g, k=2)
+        engine = WalkEngine(BSPCluster(2), seed=7, record_paths=True)
+        # start at leaves: all transitions go to the hub (only neighbour),
+        # then from hub to leaves; degree bias shows on richer graphs —
+        # use lollipop: clique + path
+        res = engine.run(g, a, RWD(), walkers_per_vertex=1, max_steps=2)
+        assert res.total_steps > 0
+
+    def test_rwd_degree_bias(self, powerlaw_small):
+        a = make_assignment(powerlaw_small)
+        eng1 = WalkEngine(BSPCluster(4), seed=8)
+        r_uniform = eng1.run(powerlaw_small, a, DeepWalk(), walkers_per_vertex=2, max_steps=4)
+        eng2 = WalkEngine(BSPCluster(4), seed=8)
+        r_rwd = eng2.run(powerlaw_small, a, RWD(), walkers_per_vertex=2, max_steps=4)
+        deg = powerlaw_small.degrees
+        assert deg[r_rwd.final_positions].mean() > deg[r_uniform.final_positions].mean()
+
+    def test_node2vec_first_step_uniform(self, k5):
+        a = make_assignment(k5, k=2)
+        engine = WalkEngine(BSPCluster(2), seed=9, record_paths=True)
+        res = engine.run(k5, a, Node2Vec(p=1, q=1), walkers_per_vertex=1, max_steps=1)
+        for row in res.paths:
+            assert k5.has_edge(int(row[0]), int(row[1]))
+
+    def test_node2vec_return_bias(self, ring64):
+        a = make_assignment(ring64)
+        # tiny p → strong return bias: many 2-hop revisits on a ring
+        engine = WalkEngine(BSPCluster(4), seed=10, record_paths=True)
+        res = engine.run(
+            ring64, a, Node2Vec(p=0.01, q=100.0), walkers_per_vertex=4, max_steps=6
+        )
+        paths = res.paths
+        revisit = 0
+        total = 0
+        for t in range(2, paths.shape[1]):
+            valid = (paths[:, t] >= 0) & (paths[:, t - 2] >= 0)
+            revisit += int((paths[valid, t] == paths[valid, t - 2]).sum())
+            total += int(valid.sum())
+        assert revisit / total > 0.8
+
+    def test_node2vec_exploration_bias(self, ring64):
+        a = make_assignment(ring64)
+        engine = WalkEngine(BSPCluster(4), seed=10, record_paths=True)
+        res = engine.run(
+            ring64, a, Node2Vec(p=100.0, q=0.01), walkers_per_vertex=4, max_steps=6
+        )
+        paths = res.paths
+        revisit = 0
+        total = 0
+        for t in range(2, paths.shape[1]):
+            valid = (paths[:, t] >= 0) & (paths[:, t - 2] >= 0)
+            revisit += int((paths[valid, t] == paths[valid, t - 2]).sum())
+            total += int(valid.sum())
+        assert revisit / total < 0.1
+
+    def test_node2vec_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            Node2Vec(p=0)
+        with pytest.raises(ConfigurationError):
+            Node2Vec(q=-1)
+
+
+class TestAlias:
+    def test_distribution(self):
+        from repro.engines.knightking import AliasTable
+
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable.build(weights)
+        samples = table.sample(100_000, rng=0)
+        freq = np.bincount(samples, minlength=4) / 100_000
+        assert np.allclose(freq, weights / weights.sum(), atol=0.01)
+
+    def test_single_category(self):
+        from repro.engines.knightking import AliasTable
+
+        table = AliasTable.build([5.0])
+        assert (table.sample(100, rng=1) == 0).all()
+
+    def test_invalid_weights(self):
+        from repro.engines.knightking import AliasTable
+
+        with pytest.raises(ConfigurationError):
+            AliasTable.build([])
+        with pytest.raises(ConfigurationError):
+            AliasTable.build([-1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            AliasTable.build([0.0, 0.0])

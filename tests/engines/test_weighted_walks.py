@@ -1,0 +1,126 @@
+"""Unit tests for weighted walks, the vertex alias index, and visit tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import BSPCluster
+from repro.engines.knightking import (
+    DeepWalk,
+    VertexAliasIndex,
+    WalkEngine,
+    WeightedWalk,
+)
+from repro.errors import ConfigurationError
+from repro.graph import chung_lu, from_edges, star_graph
+from repro.graph.weights import EdgeWeights
+from repro.partition import HashPartitioner
+
+
+class TestVertexAliasIndex:
+    def test_uniform_weights_match_uniform_sampling(self):
+        g = star_graph(6)
+        idx = VertexAliasIndex.build(g, EdgeWeights.uniform(g))
+        rng = np.random.default_rng(0)
+        targets, dead = idx.sample(np.zeros(30_000, dtype=np.int64), rng)
+        assert not dead.any()
+        counts = np.bincount(targets, minlength=7)[1:]
+        assert counts.min() > 0.85 * counts.max()
+
+    def test_biased_weights_shift_distribution(self):
+        # vertex 0 with neighbours 1, 2; weight 9:1
+        g = from_edges([0, 0], [1, 2], num_vertices=3)
+        w = np.zeros(g.num_edges)
+        # vertex 0's slots are [1, 2] in sorted order
+        w[g.indptr[0]] = 9.0
+        w[g.indptr[0] + 1] = 1.0
+        w[g.indptr[1]] = 1.0
+        w[g.indptr[2]] = 1.0
+        idx = VertexAliasIndex.build(g, w)
+        rng = np.random.default_rng(1)
+        targets, _ = idx.sample(np.zeros(50_000, dtype=np.int64), rng)
+        frac_1 = (targets == 1).mean()
+        assert frac_1 == pytest.approx(0.9, abs=0.01)
+
+    def test_dead_end(self, isolated_vertices):
+        idx = VertexAliasIndex.build(
+            isolated_vertices, EdgeWeights.uniform(isolated_vertices)
+        )
+        targets, dead = idx.sample(np.array([5]), np.random.default_rng(0))
+        assert dead[0] and targets[0] == 5
+
+    def test_zero_weight_vertex_falls_back_uniform(self):
+        g = from_edges([0, 0], [1, 2], num_vertices=3)
+        w = np.zeros(g.num_edges)  # all-zero weights
+        idx = VertexAliasIndex.build(g, w)
+        targets, dead = idx.sample(np.zeros(2000, dtype=np.int64), np.random.default_rng(2))
+        assert not dead.any()
+        assert set(np.unique(targets)) == {1, 2}
+
+    def test_length_mismatch(self, triangle):
+        with pytest.raises(ConfigurationError):
+            VertexAliasIndex.build(triangle, np.ones(2))
+
+
+class TestWeightedWalkApp:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = chung_lu(600, 8.0, rng=40)
+        a = HashPartitioner().partition(g, 4).assignment
+        return g, a
+
+    def test_paths_follow_edges(self, setup):
+        g, a = setup
+        app = WeightedWalk(g, EdgeWeights.random(g, rng=41))
+        engine = WalkEngine(BSPCluster(4), seed=42, record_paths=True)
+        res = engine.run(g, a, app, walkers_per_vertex=1, max_steps=4)
+        for row in res.paths[:100]:
+            trace = row[row >= 0]
+            for u, v in zip(trace[:-1], trace[1:]):
+                assert g.has_edge(int(u), int(v))
+
+    def test_degree_biased_weights_seek_hubs(self, setup):
+        g, a = setup
+        hub_app = WeightedWalk(g, EdgeWeights.degree_proportional(g))
+        e1 = WalkEngine(BSPCluster(4), seed=43)
+        r_hub = e1.run(g, a, hub_app, walkers_per_vertex=2, max_steps=4)
+        e2 = WalkEngine(BSPCluster(4), seed=43)
+        r_uni = e2.run(g, a, DeepWalk(), walkers_per_vertex=2, max_steps=4)
+        deg = g.degrees
+        assert deg[r_hub.final_positions].mean() > deg[r_uni.final_positions].mean()
+
+    def test_wrong_graph_rejected(self, setup):
+        g, a = setup
+        other = chung_lu(100, 4.0, rng=44)
+        app = WeightedWalk(other, EdgeWeights.uniform(other))
+        engine = WalkEngine(BSPCluster(4), seed=45)
+        with pytest.raises(ValueError):
+            engine.run(g, a, app, walkers_per_vertex=1, max_steps=2)
+
+
+class TestVisitTracking:
+    def test_counts_match_paths(self):
+        g = chung_lu(300, 6.0, rng=50)
+        a = HashPartitioner().partition(g, 2).assignment
+        engine = WalkEngine(BSPCluster(2), seed=51, record_paths=True, track_visits=True)
+        res = engine.run(g, a, DeepWalk(), walkers_per_vertex=2, max_steps=5)
+        expected = np.bincount(
+            res.paths[res.paths >= 0].ravel(), minlength=g.num_vertices
+        )
+        assert np.array_equal(res.visit_counts, expected)
+
+    def test_total_visits(self):
+        g = chung_lu(300, 6.0, rng=52)
+        a = HashPartitioner().partition(g, 2).assignment
+        engine = WalkEngine(BSPCluster(2), seed=53, track_visits=True)
+        res = engine.run(g, a, DeepWalk(), walkers_per_vertex=1, max_steps=3)
+        # one visit per start + one per executed step
+        assert res.visit_counts.sum() == g.num_vertices + res.total_steps
+
+    def test_disabled_by_default(self):
+        g = chung_lu(100, 4.0, rng=54)
+        a = HashPartitioner().partition(g, 2).assignment
+        engine = WalkEngine(BSPCluster(2), seed=55)
+        res = engine.run(g, a, DeepWalk(), walkers_per_vertex=1, max_steps=2)
+        assert res.visit_counts is None

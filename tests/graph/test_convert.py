@@ -1,0 +1,34 @@
+"""Unit tests for the networkx bridge."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import chung_lu, from_edges
+from repro.graph.convert import from_networkx, to_networkx
+
+
+class TestConvert:
+    def test_roundtrip_undirected(self):
+        g = chung_lu(150, 6.0, rng=1)
+        assert from_networkx(to_networkx(g), num_vertices=g.num_vertices) == g
+
+    def test_roundtrip_directed(self):
+        g = from_edges([0, 1, 2], [1, 2, 0], directed=True)
+        nxg = to_networkx(g)
+        assert isinstance(nxg, nx.DiGraph)
+        assert from_networkx(nxg, num_vertices=3) == g
+
+    def test_counts_match(self):
+        g = chung_lu(200, 5.0, rng=2)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == g.num_vertices
+        assert nxg.number_of_edges() == g.num_undirected_edges
+
+    def test_empty(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(4))
+        g = from_networkx(nxg)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0

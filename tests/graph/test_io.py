@@ -1,0 +1,119 @@
+"""Unit tests for graph IO round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    chung_lu,
+    read_edge_list,
+    read_metis,
+    read_npz,
+    write_edge_list,
+    write_metis,
+    write_npz,
+)
+from repro.graph.builder import from_edges
+
+
+@pytest.fixture
+def sample():
+    return chung_lu(200, 6.0, rng=11)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(sample, p)
+        g = read_edge_list(p, num_vertices=sample.num_vertices)
+        assert g == sample
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# header\n\n0 1\n1 2\n")
+        g = read_edge_list(p)
+        assert g.num_undirected_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_non_integer(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_directed_roundtrip(self, tmp_path):
+        g = from_edges([0, 1, 2], [1, 2, 0], directed=True)
+        p = tmp_path / "d.txt"
+        write_edge_list(g, p)
+        g2 = read_edge_list(p, directed=True, num_vertices=3)
+        assert g2 == g
+
+
+class TestNpz:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.npz"
+        write_npz(sample, p)
+        assert read_npz(p) == sample
+
+    def test_directed_flag_preserved(self, tmp_path):
+        g = from_edges([0], [1], directed=True)
+        p = tmp_path / "d.npz"
+        write_npz(g, p)
+        assert read_npz(p).directed
+
+    def test_missing_arrays(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez(p, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            read_npz(p)
+
+
+class TestMetis:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.metis"
+        write_metis(sample, p)
+        g = read_metis(p)
+        assert g == sample
+
+    def test_directed_rejected(self, tmp_path):
+        g = from_edges([0], [1], directed=True)
+        with pytest.raises(GraphFormatError):
+            write_metis(g, tmp_path / "x.metis")
+
+    def test_truncated_file(self, tmp_path):
+        p = tmp_path / "g.metis"
+        p.write_text("3 2\n2\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(p)
+
+    def test_header_counts(self, sample, tmp_path):
+        p = tmp_path / "g.metis"
+        write_metis(sample, p)
+        n, m = map(int, p.read_text().splitlines()[0].split())
+        assert n == sample.num_vertices
+        assert m == sample.num_undirected_edges
+
+
+class TestGzip:
+    def test_gz_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.txt.gz"
+        write_edge_list(sample, p)
+        g = read_edge_list(p, num_vertices=sample.num_vertices)
+        assert g == sample
+
+    def test_gz_actually_compressed(self, sample, tmp_path):
+        import gzip
+
+        p = tmp_path / "g.txt.gz"
+        write_edge_list(sample, p)
+        with open(p, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"  # gzip magic
+        with gzip.open(p, "rt") as fh:
+            assert fh.readline().startswith("#")

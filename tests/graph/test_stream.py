@@ -1,0 +1,53 @@
+"""Unit tests for vertex stream orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import vertex_stream
+from repro.graph.stream import STREAM_ORDERS
+
+
+class TestOrders:
+    @pytest.mark.parametrize("order", STREAM_ORDERS)
+    def test_is_permutation(self, powerlaw_small, order):
+        s = vertex_stream(powerlaw_small, order, rng=1)
+        assert np.array_equal(np.sort(s), np.arange(powerlaw_small.num_vertices))
+
+    def test_natural(self, ring64):
+        assert np.array_equal(vertex_stream(ring64, "natural"), np.arange(64))
+
+    def test_random_is_seed_deterministic(self, ring64):
+        a = vertex_stream(ring64, "random", rng=3)
+        b = vertex_stream(ring64, "random", rng=3)
+        assert np.array_equal(a, b)
+        c = vertex_stream(ring64, "random", rng=4)
+        assert not np.array_equal(a, c)
+
+    def test_degree_orders(self, star16):
+        asc = vertex_stream(star16, "degree")
+        desc = vertex_stream(star16, "degree_desc")
+        assert asc[-1] == 0  # hub last ascending
+        assert desc[0] == 0  # hub first descending
+
+    def test_bfs_visits_neighbors_contiguously(self, path10):
+        s = vertex_stream(path10, "bfs")
+        assert list(s) == list(range(10))  # path from 0 is already BFS order
+
+    def test_bfs_covers_components(self, two_components):
+        s = vertex_stream(two_components, "bfs")
+        assert set(s) == set(range(5))
+
+    def test_dfs_path(self, path10):
+        s = vertex_stream(path10, "dfs")
+        assert list(s) == list(range(10))
+
+    def test_dfs_isolated(self, isolated_vertices):
+        s = vertex_stream(isolated_vertices, "dfs")
+        assert set(s) == set(range(6))
+
+    def test_unknown_order(self, ring64):
+        with pytest.raises(ConfigurationError):
+            vertex_stream(ring64, "spiral")

@@ -1,0 +1,119 @@
+"""Tests for graph transformations."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import chung_lu, from_edges, ring_graph, social_graph
+from repro.graph.convert import to_networkx
+from repro.graph.transform import (
+    connected_components_sizes,
+    filter_min_degree,
+    kcore_subgraph,
+    largest_connected_component,
+    locality_reorder,
+    relabel,
+)
+
+
+class TestComponents:
+    def test_sizes(self, two_components):
+        assert list(connected_components_sizes(two_components)) == [3, 2]
+
+    def test_lcc(self, two_components):
+        t = largest_connected_component(two_components)
+        assert t.graph.num_vertices == 3
+        assert set(t.old_of_new) == {0, 1, 2}
+        assert t.new_of_old[4] == -1
+
+    def test_lcc_matches_networkx(self):
+        g = chung_lu(500, 3.0, rng=91)  # sparse → several components
+        t = largest_connected_component(g)
+        nx_sizes = sorted(
+            (len(c) for c in nx.connected_components(to_networkx(g))), reverse=True
+        )
+        assert t.graph.num_vertices == nx_sizes[0]
+
+    def test_isolated_vertices_each_a_component(self, isolated_vertices):
+        sizes = connected_components_sizes(isolated_vertices)
+        assert sizes[0] == 3  # the 0-1-2 path
+        assert sizes.sum() == 6
+
+
+class TestFilters:
+    def test_min_degree(self, star16):
+        t = filter_min_degree(star16, 2)
+        assert t.graph.num_vertices == 1  # only the hub survives one shave
+        assert t.graph.num_edges == 0
+
+    def test_min_degree_zero_keeps_all(self, star16):
+        t = filter_min_degree(star16, 0)
+        assert t.graph.num_vertices == star16.num_vertices
+
+    def test_kcore_matches_networkx(self):
+        g = chung_lu(400, 8.0, rng=92)
+        t = kcore_subgraph(g, 4)
+        nxg = to_networkx(g)
+        nxg.remove_edges_from(nx.selfloop_edges(nxg))
+        expected = nx.k_core(nxg, 4)
+        assert t.graph.num_vertices == expected.number_of_nodes()
+        assert set(t.old_of_new) == set(expected.nodes())
+
+    def test_kcore_of_ring(self, ring64):
+        assert kcore_subgraph(ring64, 2).graph.num_vertices == 64
+        assert kcore_subgraph(ring64, 3).graph.num_vertices == 0
+
+    def test_negative_params_rejected(self, ring64):
+        with pytest.raises(ConfigurationError):
+            filter_min_degree(ring64, -1)
+        with pytest.raises(ConfigurationError):
+            kcore_subgraph(ring64, -1)
+
+
+class TestRelabel:
+    def test_identity(self, ring64):
+        t = relabel(ring64, np.arange(64))
+        assert t.graph == ring64
+
+    def test_roundtrip_preserves_structure(self):
+        g = chung_lu(300, 6.0, rng=93)
+        rng = np.random.default_rng(94)
+        perm = rng.permutation(g.num_vertices)
+        t = relabel(g, perm)
+        assert t.graph.num_edges == g.num_edges
+        # edge (u, v) exists iff (new_of_old[u], new_of_old[v]) exists
+        for u in range(0, g.num_vertices, 29):
+            for v in g.neighbors(u):
+                assert t.graph.has_edge(int(t.new_of_old[u]), int(t.new_of_old[v]))
+
+    def test_invalid_permutation(self, ring64):
+        with pytest.raises(ConfigurationError):
+            relabel(ring64, np.zeros(64, dtype=np.int64))
+
+
+class TestLocalityReorder:
+    def test_bfs_reorder_recovers_mesh_locality(self):
+        """A randomly-renumbered mesh loses its chunking locality; BFS
+        renumbering recovers most of it — the preprocessing that
+        justifies Chunk-V on structured graphs. (On expanders there is
+        no locality to recover, so no gain is expected there.)"""
+        from repro.graph import grid_graph
+        from repro.partition import ChunkVPartitioner
+        from repro.partition.metrics import edge_cut_ratio
+
+        g = grid_graph(40, 40)
+        rng = np.random.default_rng(95)
+        shuffled = relabel(g, rng.permutation(g.num_vertices)).graph
+        recovered = locality_reorder(shuffled, order="bfs").graph
+        p = ChunkVPartitioner()
+        cut_shuffled = edge_cut_ratio(shuffled, p.partition(shuffled, 8).assignment.parts)
+        cut_recovered = edge_cut_ratio(recovered, p.partition(recovered, 8).assignment.parts)
+        assert cut_recovered < cut_shuffled / 2
+
+    def test_degree_distribution_preserved(self):
+        g = chung_lu(400, 8.0, rng=96)
+        t = locality_reorder(g, order="bfs")
+        assert np.array_equal(np.sort(t.graph.degrees), np.sort(g.degrees))

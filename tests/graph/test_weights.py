@@ -1,0 +1,70 @@
+"""Unit tests for EdgeWeights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import chung_lu, ring_graph
+from repro.graph.weights import EdgeWeights
+
+
+class TestConstruction:
+    def test_uniform(self, triangle):
+        w = EdgeWeights.uniform(triangle, 2.0)
+        assert (w.values == 2.0).all()
+        assert w.values.size == triangle.num_edges
+
+    def test_length_check(self, triangle):
+        with pytest.raises(GraphFormatError):
+            EdgeWeights(triangle, np.ones(2))
+
+    def test_negative_rejected(self, triangle):
+        with pytest.raises(GraphFormatError):
+            EdgeWeights(triangle, -np.ones(triangle.num_edges))
+
+    def test_readonly(self, triangle):
+        w = EdgeWeights.uniform(triangle)
+        with pytest.raises(ValueError):
+            w.values[0] = 5.0
+
+
+class TestSymmetry:
+    def test_random_is_symmetric(self):
+        g = chung_lu(200, 6.0, rng=1)
+        w = EdgeWeights.random(g, rng=2)
+        assert w.is_symmetric()
+
+    def test_random_in_range(self):
+        g = ring_graph(50)
+        w = EdgeWeights.random(g, low=0.2, high=0.3, rng=3)
+        assert w.values.min() >= 0.2
+        assert w.values.max() <= 0.3
+
+    def test_degree_proportional_not_symmetric(self):
+        from repro.graph import star_graph
+
+        g = star_graph(5)
+        w = EdgeWeights.degree_proportional(g)
+        assert not w.is_symmetric()
+
+    def test_uniform_is_symmetric(self, triangle):
+        assert EdgeWeights.uniform(triangle).is_symmetric()
+
+
+class TestAccessors:
+    def test_of(self, triangle):
+        w = EdgeWeights(triangle, np.arange(triangle.num_edges, dtype=float))
+        assert np.array_equal(w.of(0), w.values[: triangle.degree(0)])
+
+    def test_weighted_degrees(self, triangle):
+        w = EdgeWeights.uniform(triangle, 3.0)
+        assert np.allclose(w.weighted_degrees, 3.0 * triangle.degrees)
+
+    def test_weighted_degrees_isolated(self, isolated_vertices):
+        w = EdgeWeights.uniform(isolated_vertices)
+        assert w.weighted_degrees[5] == 0.0
+
+    def test_repr(self, triangle):
+        assert "m=6" in repr(EdgeWeights.uniform(triangle))

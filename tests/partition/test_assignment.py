@@ -1,0 +1,65 @@
+"""Unit tests for PartitionAssignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import PartitionAssignment
+
+
+class TestAssignment:
+    def test_counts(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 0, 1]), 2)
+        assert list(a.vertex_counts) == [2, 1]
+        assert list(a.edge_counts) == [4, 2]
+
+    def test_counts_cover_all_parts(self, powerlaw_small):
+        n = powerlaw_small.num_vertices
+        a = PartitionAssignment(powerlaw_small, np.zeros(n, dtype=int), 5)
+        assert list(a.vertex_counts) == [n, 0, 0, 0, 0]
+
+    def test_vertices_of(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 1, 0]), 2)
+        assert list(a.vertices_of(0)) == [0, 2]
+        assert list(a.vertices_of(1)) == [1]
+
+    def test_parts_readonly(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 1, 0]), 2)
+        with pytest.raises(ValueError):
+            a.parts[0] = 1
+
+    def test_relabel(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 1, 2]), 3)
+        merged = a.relabel(np.array([0, 0, 1]), 2)
+        assert list(merged.parts) == [0, 0, 1]
+        assert merged.num_parts == 2
+
+    def test_relabel_length_check(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 1, 2]), 3)
+        with pytest.raises(PartitionError):
+            a.relabel(np.array([0, 1]), 2)
+
+    def test_wrong_length_rejected(self, triangle):
+        with pytest.raises(PartitionError):
+            PartitionAssignment(triangle, np.array([0, 1]), 2)
+
+    def test_out_of_range_part(self, triangle):
+        with pytest.raises(PartitionError):
+            PartitionAssignment(triangle, np.array([0, 1, 5]), 2)
+
+    def test_nonpositive_parts(self, triangle):
+        with pytest.raises(PartitionError):
+            PartitionAssignment(triangle, np.array([0, 0, 0]), 0)
+
+    def test_equality(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 1, 0]), 2)
+        b = PartitionAssignment(triangle, np.array([0, 1, 0]), 2)
+        c = PartitionAssignment(triangle, np.array([1, 0, 0]), 2)
+        assert a == b
+        assert a != c
+
+    def test_repr(self, triangle):
+        a = PartitionAssignment(triangle, np.array([0, 1, 0]), 2)
+        assert "k=2" in repr(a)

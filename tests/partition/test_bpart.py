@@ -1,0 +1,133 @@
+"""Unit tests for BPart — the paper's contribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import social_graph
+from repro.partition import (
+    BPartPartitioner,
+    ChunkEPartitioner,
+    ChunkVPartitioner,
+    bias,
+    edge_cut_ratio,
+    jains_fairness,
+)
+from repro.partition.bpart import bpart_vertex_weights, weighted_stream_partition
+
+
+@pytest.fixture(scope="module")
+def g():
+    return social_graph(4000, 18.0, 2.1, rng=10)
+
+
+class TestVertexWeights:
+    def test_sum_equals_n(self, powerlaw_small):
+        for c in (0.0, 0.3, 0.5, 1.0):
+            w = bpart_vertex_weights(powerlaw_small, c)
+            assert w.sum() == pytest.approx(powerlaw_small.num_vertices)
+
+    def test_c_one_is_uniform(self, powerlaw_small):
+        w = bpart_vertex_weights(powerlaw_small, 1.0)
+        assert np.allclose(w, 1.0)
+
+    def test_c_zero_proportional_to_degree(self, powerlaw_small):
+        w = bpart_vertex_weights(powerlaw_small, 0.0)
+        expected = powerlaw_small.degrees / powerlaw_small.avg_degree
+        assert np.allclose(w, expected)
+
+    def test_edgeless_graph(self):
+        from repro.graph import from_edges
+
+        g0 = from_edges([], [], num_vertices=5)
+        assert np.allclose(bpart_vertex_weights(g0, 0.5), 1.0)
+
+
+class TestPhase1:
+    def test_inverse_proportionality(self, g):
+        pieces = weighted_stream_partition(g, 16, c=0.5)
+        vc = np.bincount(pieces, minlength=16)
+        ec = np.bincount(pieces, weights=g.degrees, minlength=16)
+        corr = np.corrcoef(vc, ec)[0, 1]
+        assert corr < -0.5  # the Figure-8 property
+
+    def test_skew_reduced_vs_chunking(self, g):
+        pieces = weighted_stream_partition(g, 16, c=0.5)
+        ec_w = np.bincount(pieces, weights=g.degrees, minlength=16)
+        chunkv = ChunkVPartitioner().partition(g, 16).assignment
+        assert bias(ec_w) < bias(chunkv.edge_counts)
+
+    def test_invalid_c(self, g):
+        with pytest.raises(ConfigurationError):
+            weighted_stream_partition(g, 8, c=1.5)
+
+
+class TestBPartFull:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_two_dimensional_balance(self, g, k):
+        a = BPartPartitioner(seed=1).partition(g, k).assignment
+        assert bias(a.vertex_counts) < 0.1, f"vertex bias at k={k}"
+        assert bias(a.edge_counts) < 0.1, f"edge bias at k={k}"
+
+    def test_fairness_close_to_one(self, g):
+        a = BPartPartitioner(seed=1).partition(g, 8).assignment
+        assert jains_fairness(a.vertex_counts) > 0.99
+        assert jains_fairness(a.edge_counts) > 0.99
+
+    def test_beats_chunkers_in_other_dimension(self, g):
+        bp = BPartPartitioner(seed=1).partition(g, 8).assignment
+        cv = ChunkVPartitioner().partition(g, 8).assignment
+        ce = ChunkEPartitioner().partition(g, 8).assignment
+        assert bias(bp.edge_counts) < bias(cv.edge_counts)
+        assert bias(bp.vertex_counts) < bias(ce.vertex_counts)
+
+    def test_cut_below_hash(self, g):
+        from repro.partition import HashPartitioner
+
+        bp = BPartPartitioner(seed=1).partition(g, 8).assignment
+        h = HashPartitioner().partition(g, 8).assignment
+        assert edge_cut_ratio(g, bp.parts) < edge_cut_ratio(g, h.parts)
+
+    def test_non_power_of_two_parts(self, g):
+        a = BPartPartitioner(seed=1).partition(g, 6).assignment
+        assert len(np.unique(a.parts)) == 6
+        assert bias(a.vertex_counts) < 0.15
+        assert bias(a.edge_counts) < 0.15
+
+    def test_metadata_trace(self, g):
+        res = BPartPartitioner(seed=1).partition(g, 8)
+        assert res.metadata["c"] == 0.5
+        layers = res.metadata["layers"]
+        assert 1 <= len(layers) <= 3
+        assert layers[0]["pieces"] >= 8
+
+    def test_clock_breakdown(self, g):
+        res = BPartPartitioner(seed=1).partition(g, 8)
+        segs = res.clock.segments
+        assert "stream" in segs and "combine" in segs and "total" in segs
+        assert res.elapsed == pytest.approx(segs["total"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BPartPartitioner(c=-0.1)
+        with pytest.raises(ConfigurationError):
+            BPartPartitioner(balance_threshold=0.0)
+        with pytest.raises(ValueError):
+            BPartPartitioner(oversplit_base=1)
+
+    def test_deterministic(self, g):
+        a = BPartPartitioner(seed=2).partition(g, 8).assignment
+        b = BPartPartitioner(seed=2).partition(g, 8).assignment
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_c_extremes_degenerate(self, g):
+        # c=1 behaves Fennel-like: vertices balanced; edge balance comes
+        # only from the combining phase, so compare phase-1 behaviour.
+        pieces_v = weighted_stream_partition(g, 16, c=1.0)
+        vc = np.bincount(pieces_v, minlength=16)
+        assert bias(vc) < 0.15
+        pieces_e = weighted_stream_partition(g, 16, c=0.0)
+        ec = np.bincount(pieces_e, weights=g.degrees, minlength=16)
+        assert bias(ec) < 0.25

@@ -1,0 +1,94 @@
+"""Tests for partition deployment bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import chung_lu
+from repro.partition import BPartPartitioner, HashPartitioner
+from repro.partition.export import (
+    export_partition_bundles,
+    load_partition_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = chung_lu(500, 8.0, rng=110)
+    a = BPartPartitioner(seed=110).partition(g, 4).assignment
+    return g, a
+
+
+class TestExport:
+    def test_one_file_per_part(self, setup, tmp_path):
+        g, a = setup
+        paths = export_partition_bundles(a, tmp_path)
+        assert len(paths) == 4
+        assert all(p.exists() for p in paths)
+
+    def test_vertices_partitioned_exactly(self, setup, tmp_path):
+        g, a = setup
+        paths = export_partition_bundles(a, tmp_path)
+        seen = np.concatenate(
+            [load_partition_bundle(p).global_ids for p in paths]
+        )
+        assert np.array_equal(np.sort(seen), np.arange(g.num_vertices))
+
+    def test_arc_conservation(self, setup, tmp_path):
+        g, a = setup
+        paths = export_partition_bundles(a, tmp_path)
+        total = sum(load_partition_bundle(p).num_arcs for p in paths)
+        assert total == g.num_edges
+
+    def test_ghost_routing_correct(self, setup, tmp_path):
+        g, a = setup
+        paths = export_partition_bundles(a, tmp_path)
+        for p in paths:
+            b = load_partition_bundle(p)
+            # every ghost's recorded owner matches the assignment
+            assert np.array_equal(b.remote_parts, a.parts[b.remote_ids])
+            # no ghost claims to live on this machine
+            assert (b.remote_parts != b.part).all()
+
+    def test_adjacency_reconstruction(self, setup, tmp_path):
+        """Resolving local + ghost ids reproduces each vertex's original
+        neighbour set exactly."""
+        g, a = setup
+        paths = export_partition_bundles(a, tmp_path)
+        b = load_partition_bundle(paths[0])
+        for local in range(0, b.num_local, 17):
+            s, e = b.indptr[local], b.indptr[local + 1]
+            resolved = []
+            for t in b.indices[s:e]:
+                if t < b.num_local:
+                    resolved.append(int(b.global_ids[t]))
+                else:
+                    resolved.append(int(b.remote_ids[t - b.num_local]))
+            expected = sorted(int(x) for x in g.neighbors(int(b.global_ids[local])))
+            assert sorted(resolved) == expected
+
+    def test_ghosts_only_for_cut_arcs(self, setup, tmp_path):
+        g, a = setup
+        # single part: no ghosts at all
+        single = HashPartitioner().partition(g, 1).assignment
+        paths = export_partition_bundles(single, tmp_path / "single")
+        b = load_partition_bundle(paths[0])
+        assert b.num_ghosts == 0
+
+    def test_corrupt_bundle_rejected(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez(p, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_partition_bundle(p)
+
+    def test_version_check(self, setup, tmp_path):
+        g, a = setup
+        paths = export_partition_bundles(a, tmp_path)
+        with np.load(paths[0]) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["meta"] = np.array([99, 0, 4], dtype=np.int64)
+        np.savez(paths[0], **arrays)
+        with pytest.raises(GraphFormatError):
+            load_partition_bundle(paths[0])

@@ -1,0 +1,88 @@
+"""Tests for balance-preserving cut refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import grid_graph, social_graph
+from repro.partition import (
+    BPartPartitioner,
+    HashPartitioner,
+    PartitionAssignment,
+    bias,
+    edge_cut_ratio,
+)
+from repro.partition.refine import refine_assignment
+
+
+@pytest.fixture(scope="module")
+def g():
+    return social_graph(2500, 14.0, 2.2, rng=120)
+
+
+class TestRefine:
+    def test_cut_never_increases(self, g):
+        a = BPartPartitioner(seed=120).partition(g, 8).assignment
+        r = refine_assignment(a, rounds=3)
+        assert edge_cut_ratio(g, r.parts) <= edge_cut_ratio(g, a.parts) + 1e-12
+
+    def test_balance_envelope_respected(self, g):
+        a = BPartPartitioner(seed=120).partition(g, 8).assignment
+        r = refine_assignment(a, epsilon=0.1, rounds=5)
+        v_target = g.num_vertices / 8
+        e_target = g.num_edges / 8
+        assert r.vertex_counts.max() <= 1.1 * v_target + 1
+        assert r.vertex_counts.min() >= 0.9 * v_target - 1
+        assert r.edge_counts.max() <= 1.1 * e_target + g.degrees.max()
+        assert r.edge_counts.min() >= 0.9 * e_target - g.degrees.max()
+
+    def test_improves_hash_partition(self, g):
+        a = HashPartitioner().partition(g, 4).assignment
+        r = refine_assignment(a, rounds=5)
+        assert edge_cut_ratio(g, r.parts) < edge_cut_ratio(g, a.parts) - 0.02
+
+    def test_structured_graph_large_gain(self):
+        g = grid_graph(30, 30)
+        a = HashPartitioner().partition(g, 4).assignment
+        r = refine_assignment(a, epsilon=0.2, rounds=10)
+        assert edge_cut_ratio(g, r.parts) < edge_cut_ratio(g, a.parts) / 2
+
+    def test_totality_preserved(self, g):
+        a = BPartPartitioner(seed=120).partition(g, 8).assignment
+        r = refine_assignment(a)
+        assert r.vertex_counts.sum() == g.num_vertices
+        assert r.edge_counts.sum() == g.num_edges
+
+    def test_input_unchanged(self, g):
+        a = BPartPartitioner(seed=120).partition(g, 8).assignment
+        before = a.parts.copy()
+        refine_assignment(a)
+        assert np.array_equal(a.parts, before)
+
+    def test_single_part_noop(self, g):
+        a = HashPartitioner().partition(g, 1).assignment
+        assert refine_assignment(a) is a
+
+    def test_edgeless_noop(self):
+        from repro.graph import from_edges
+
+        g0 = from_edges([], [], num_vertices=8)
+        a = PartitionAssignment(g0, np.arange(8, dtype=np.int32) % 2, 2)
+        assert refine_assignment(a) is a
+
+    def test_invalid_params(self, g):
+        a = HashPartitioner().partition(g, 2).assignment
+        with pytest.raises(ConfigurationError):
+            refine_assignment(a, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            refine_assignment(a, rounds=0)
+
+    def test_idempotent_at_fixpoint(self, g):
+        a = BPartPartitioner(seed=120).partition(g, 4).assignment
+        r1 = refine_assignment(a, rounds=10)
+        r2 = refine_assignment(r1, rounds=10)
+        assert edge_cut_ratio(g, r2.parts) == pytest.approx(
+            edge_cut_ratio(g, r1.parts), abs=0.01
+        )

@@ -1,0 +1,56 @@
+"""Tests for the re-streaming (multi-pass) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import social_graph
+from repro.partition import BPartPartitioner, FennelPartitioner, bias, edge_cut_ratio
+
+
+@pytest.fixture(scope="module")
+def g():
+    return social_graph(2500, 14.0, 2.2, rng=80)
+
+
+class TestRestream:
+    def test_passes_tighten_fennel_cut(self, g):
+        cuts = [
+            edge_cut_ratio(
+                g, FennelPartitioner(passes=p).partition(g, 8).assignment.parts
+            )
+            for p in (1, 3)
+        ]
+        assert cuts[1] <= cuts[0]
+
+    def test_balance_preserved_across_passes(self, g):
+        a = FennelPartitioner(passes=3).partition(g, 8).assignment
+        assert bias(a.vertex_counts) < 0.15
+
+    def test_bpart_balance_with_passes(self, g):
+        a = BPartPartitioner(seed=80, passes=2).partition(g, 8).assignment
+        assert bias(a.vertex_counts) < 0.1
+        assert bias(a.edge_counts) < 0.1
+
+    def test_totality_after_restream(self, g):
+        a = FennelPartitioner(passes=2).partition(g, 8).assignment
+        assert a.vertex_counts.sum() == g.num_vertices
+        assert (a.parts >= 0).all()
+
+    def test_single_pass_unchanged_semantics(self, g):
+        one = FennelPartitioner(passes=1).partition(g, 8).assignment
+        classic = FennelPartitioner().partition(g, 8).assignment
+        assert np.array_equal(one.parts, classic.parts)
+
+    def test_invalid_passes(self):
+        with pytest.raises(ConfigurationError):
+            FennelPartitioner(passes=0)
+        with pytest.raises(ConfigurationError):
+            BPartPartitioner(passes=-1)
+
+    def test_deterministic(self, g):
+        a = FennelPartitioner(passes=2, seed=1).partition(g, 4).assignment
+        b = FennelPartitioner(passes=2, seed=1).partition(g, 4).assignment
+        assert np.array_equal(a.parts, b.parts)

@@ -1,0 +1,61 @@
+"""Tests for the Spinner-style balanced LPA partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import grid_graph, social_graph
+from repro.partition import HashPartitioner, bias, edge_cut_ratio, get_partitioner
+from repro.partition.spinner import SpinnerPartitioner
+
+
+@pytest.fixture(scope="module")
+def g():
+    return social_graph(2500, 14.0, 2.2, rng=90)
+
+
+class TestSpinner:
+    def test_registered(self):
+        assert get_partitioner("spinner").name == "spinner"
+
+    def test_totality(self, g):
+        a = SpinnerPartitioner(seed=1).partition(g, 8).assignment
+        assert a.vertex_counts.sum() == g.num_vertices
+        assert (a.parts >= 0).all()
+
+    def test_vertex_balance_within_slack(self, g):
+        a = SpinnerPartitioner(seed=1, slack=1.05).partition(g, 8).assignment
+        assert a.vertex_counts.max() <= 1.06 * g.num_vertices / 8
+
+    def test_cut_below_hash(self, g):
+        sp = SpinnerPartitioner(seed=1).partition(g, 8).assignment
+        h = HashPartitioner().partition(g, 8).assignment
+        assert edge_cut_ratio(g, sp.parts) < edge_cut_ratio(g, h.parts)
+
+    def test_structured_graph_low_cut(self):
+        g = grid_graph(30, 30)
+        a = SpinnerPartitioner(seed=2, iterations=60).partition(g, 4).assignment
+        h = HashPartitioner().partition(g, 4).assignment
+        assert edge_cut_ratio(g, a.parts) < edge_cut_ratio(g, h.parts) / 2
+
+    def test_rounds_recorded(self, g):
+        res = SpinnerPartitioner(seed=1, iterations=5).partition(g, 4)
+        assert 1 <= res.metadata["rounds"] <= 5
+
+    def test_deterministic(self, g):
+        a = SpinnerPartitioner(seed=3).partition(g, 4).assignment
+        b = SpinnerPartitioner(seed=3).partition(g, 4).assignment
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_balance_weight_tightens_balance(self, g):
+        loose = SpinnerPartitioner(seed=1, balance_weight=0.0, iterations=20).partition(g, 8).assignment
+        tight = SpinnerPartitioner(seed=1, balance_weight=2.0, iterations=20).partition(g, 8).assignment
+        assert bias(tight.vertex_counts) <= bias(loose.vertex_counts) + 0.05
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SpinnerPartitioner(iterations=0)
+        with pytest.raises(ConfigurationError):
+            SpinnerPartitioner(stop_fraction=0.0)

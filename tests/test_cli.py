@@ -1,0 +1,69 @@
+"""Tests for the CLI subcommands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestBenchCommand:
+    def test_default_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig14" in capsys.readouterr().out
+
+    def test_explicit_bench_subcommand(self, capsys):
+        assert main(["bench", "fig08", "--scale", "0.05"]) == 0
+        assert "fig08" in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_all_datasets(self, capsys):
+        assert main(["info", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("livejournal", "twitter", "friendster"):
+            assert name in out
+
+    def test_single_dataset(self, capsys):
+        assert main(["info", "--dataset", "twitter", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter" in out
+        assert "livejournal" not in out
+
+
+class TestPartitionCommand:
+    def test_dataset_partition(self, capsys, tmp_path):
+        out_file = tmp_path / "parts.npy"
+        code = main(
+            [
+                "partition",
+                "--dataset",
+                "twitter",
+                "--algo",
+                "bpart",
+                "--parts",
+                "4",
+                "--scale",
+                "0.05",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        parts = np.load(out_file)
+        assert parts.min() >= 0 and parts.max() < 4
+        assert "bias(V)" in capsys.readouterr().out
+
+    def test_edge_list_partition(self, capsys, tmp_path):
+        from repro.graph import chung_lu, write_edge_list
+
+        g = chung_lu(200, 6.0, rng=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        code = main(["partition", "--graph", str(path), "--algo", "hash", "--parts", "2"])
+        assert code == 0
+
+    def test_requires_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["partition", "--algo", "bpart"])

@@ -1,0 +1,122 @@
+"""Tests for the trace exporter, HITS, and walk-corpus IO."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cluster import BSPCluster
+from repro.cluster.trace import to_chrome_trace, write_chrome_trace
+from repro.engines.gemini import GeminiEngine, PageRank
+from repro.engines.gemini.apps.hits import HITS
+from repro.engines.knightking import DeepWalk, WalkEngine
+from repro.engines.knightking.corpus import read_walk_corpus, write_walk_corpus
+from repro.errors import GraphFormatError
+from repro.graph import chung_lu, from_edges
+from repro.graph.convert import to_networkx
+from repro.partition import HashPartitioner
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def ledger(self):
+        g = chung_lu(300, 6.0, rng=100)
+        a = HashPartitioner().partition(g, 4).assignment
+        return GeminiEngine(BSPCluster(4)).run(g, a, PageRank(3)).ledger
+
+    def test_events_cover_machines_and_steps(self, ledger):
+        events = to_chrome_trace(ledger)
+        x_events = [e for e in events if e["ph"] == "X"]
+        tids = {e["tid"] for e in x_events}
+        assert tids == set(range(4))
+        compute_events = [e for e in x_events if e["cat"] == "compute"]
+        assert len(compute_events) == 3 * 4  # iterations × machines
+
+    def test_durations_match_ledger(self, ledger):
+        events = to_chrome_trace(ledger)
+        total_compute_us = sum(
+            e["dur"] for e in events if e.get("cat") == "compute"
+        )
+        assert total_compute_us == pytest.approx(
+            ledger.compute_matrix.sum() * 1e6, rel=1e-9
+        )
+
+    def test_events_within_makespan(self, ledger):
+        events = to_chrome_trace(ledger)
+        end = max(e["ts"] + e["dur"] for e in events if e["ph"] == "X")
+        assert end == pytest.approx(ledger.total_runtime * 1e6, rel=1e-9)
+
+    def test_write_valid_json(self, ledger, tmp_path):
+        p = tmp_path / "trace.json"
+        write_chrome_trace(ledger, p, job_name="test-job")
+        data = json.loads(p.read_text())
+        assert "traceEvents" in data
+        assert any(e.get("args", {}).get("name") == "test-job" for e in data["traceEvents"])
+
+
+class TestHITS:
+    def test_matches_networkx_undirected(self):
+        g = chung_lu(300, 8.0, rng=101)
+        a = HashPartitioner().partition(g, 2).assignment
+        res = GeminiEngine(BSPCluster(2)).run(g, a, HITS(iterations=200))
+        hubs, auths = nx.hits(to_networkx(g), max_iter=1000, tol=1e-12)
+        mine = res.values[:, 0]
+        mine = mine / mine.sum()
+        theirs = np.array([auths[v] for v in range(g.num_vertices)])
+        assert np.abs(mine - theirs).max() < 1e-4
+
+    def test_hub_equals_authority_on_undirected(self):
+        g = chung_lu(200, 6.0, rng=102)
+        a = HashPartitioner().partition(g, 2).assignment
+        res = GeminiEngine(BSPCluster(2)).run(g, a, HITS(iterations=100))
+        assert np.allclose(res.values[:, 0], res.values[:, 1], atol=1e-6)
+
+    def test_directed_chain(self):
+        # 0 → 1 → 2: vertex 0 is a pure hub, vertex 2 a pure authority
+        g = from_edges([0, 1], [1, 2], directed=True)
+        a = HashPartitioner().partition(g, 2).assignment
+        res = GeminiEngine(BSPCluster(2)).run(g, a, HITS(iterations=100))
+        auth, hub = res.values[:, 0], res.values[:, 1]
+        assert auth[0] == pytest.approx(0.0, abs=1e-9)
+        assert hub[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_converges_early(self):
+        g = chung_lu(200, 8.0, rng=103)
+        a = HashPartitioner().partition(g, 2).assignment
+        res = GeminiEngine(BSPCluster(2)).run(g, a, HITS(iterations=500))
+        assert res.iterations < 500
+
+
+class TestWalkCorpus:
+    def test_roundtrip(self, tmp_path):
+        g = chung_lu(200, 6.0, rng=104)
+        a = HashPartitioner().partition(g, 2).assignment
+        engine = WalkEngine(BSPCluster(2), seed=105, record_paths=True)
+        res = engine.run(g, a, DeepWalk(), walkers_per_vertex=1, max_steps=5)
+        p = tmp_path / "walks.txt"
+        lines = write_walk_corpus(res.paths, p)
+        assert lines == res.paths.shape[0]
+        back = read_walk_corpus(p)
+        # same traces modulo padding width
+        for i in range(res.paths.shape[0]):
+            a_trace = res.paths[i][res.paths[i] >= 0]
+            b_trace = back[i][back[i] >= 0]
+            assert np.array_equal(a_trace, b_trace)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("")
+        assert read_walk_corpus(p).size == 0
+
+    def test_malformed(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1 two 3\n")
+        with pytest.raises(GraphFormatError):
+            read_walk_corpus(p)
+
+    def test_bad_shape(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            write_walk_corpus(np.zeros(5), tmp_path / "x.txt")

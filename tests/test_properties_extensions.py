@@ -1,0 +1,111 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.graph.weights import EdgeWeights
+from repro.partition import HashPartitioner
+from repro.partition.refine import refine_assignment
+from repro.partition.vertexcut import (
+    DBHPartitioner,
+    HDRFPartitioner,
+    RandomEdgePartitioner,
+    replication_factor,
+)
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def graphs(draw, max_vertices=50, max_edges=150):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return from_edges(src, dst, n)
+
+
+class TestVertexCutProperties:
+    @given(graphs(), st.integers(1, 6), st.sampled_from([0, 1, 2]))
+    @settings(max_examples=40, **COMMON)
+    def test_edge_totality_and_replication_bounds(self, g, k, which):
+        algo = [RandomEdgePartitioner(), DBHPartitioner(), HDRFPartitioner()][which]
+        p = algo.partition(g, k)
+        assert p.edge_counts.sum() == g.num_undirected_edges
+        # a vertex with at least one edge has between 1 and min(k, deg) copies
+        copies = p.copies
+        deg_nonzero = g.degrees > 0
+        assert (copies[deg_nonzero] >= 1).all()
+        assert (copies <= np.minimum(k, np.maximum(g.degrees, 1))).all()
+        if g.num_undirected_edges:
+            assert 1.0 <= replication_factor(p) <= k
+
+    @given(graphs())
+    @settings(max_examples=30, **COMMON)
+    def test_single_part_never_replicates(self, g):
+        p = HDRFPartitioner().partition(g, 1)
+        assert (p.copies[g.degrees > 0] == 1).all()
+
+
+class TestWeightsProperties:
+    @given(graphs(), st.floats(0.1, 10.0))
+    @settings(max_examples=30, **COMMON)
+    def test_uniform_weighted_degrees(self, g, w):
+        ew = EdgeWeights.uniform(g, w)
+        assert np.allclose(ew.weighted_degrees, w * g.degrees)
+
+    @given(graphs(), st.integers(0, 2**31))
+    @settings(max_examples=30, **COMMON)
+    def test_random_weights_symmetric(self, g, seed):
+        ew = EdgeWeights.random(g, rng=seed)
+        assert ew.is_symmetric()
+
+
+class TestRefineProperties:
+    @given(graphs(), st.integers(2, 5))
+    @settings(max_examples=30, **COMMON)
+    def test_refine_invariants(self, g, k):
+        k = min(k, g.num_vertices)
+        a = HashPartitioner().partition(g, k).assignment
+        r = refine_assignment(a, epsilon=0.3, rounds=2)
+        # totality + conservation always hold
+        assert r.vertex_counts.sum() == g.num_vertices
+        assert r.edge_counts.sum() == g.num_edges
+        # cut never increases
+        from repro.partition.metrics import edge_cut_ratio
+
+        assert edge_cut_ratio(g, r.parts) <= edge_cut_ratio(g, a.parts) + 1e-12
+
+
+class TestTransformProperties:
+    @given(graphs())
+    @settings(max_examples=30, **COMMON)
+    def test_component_sizes_partition_vertices(self, g):
+        from repro.graph.transform import connected_components_sizes
+
+        sizes = connected_components_sizes(g)
+        assert sizes.sum() == g.num_vertices
+        assert (sizes >= 1).all()
+
+    @given(graphs(), st.integers(0, 5))
+    @settings(max_examples=30, **COMMON)
+    def test_kcore_is_subgraph_with_min_degree(self, g, k):
+        from repro.graph.transform import kcore_subgraph
+
+        t = kcore_subgraph(g, k)
+        if t.graph.num_vertices:
+            assert (t.graph.degrees >= k).all()
+
+    @given(graphs(), st.integers(0, 2**31))
+    @settings(max_examples=30, **COMMON)
+    def test_relabel_preserves_degree_multiset(self, g, seed):
+        from repro.graph.transform import relabel
+
+        rng = np.random.default_rng(seed)
+        t = relabel(g, rng.permutation(g.num_vertices))
+        assert np.array_equal(np.sort(t.graph.degrees), np.sort(g.degrees))

@@ -16,6 +16,8 @@ from repro.engines.gemini.vertex_program import neighbor_sum
 from repro.engines.knightking.transition import arcs_exist, uniform_neighbor
 from repro.graph import social_graph
 from repro.partition._streamcore import default_alpha, stream_partition
+from repro.partition.kernels import available_kernels
+from repro.partition.ldg import LDGPartitioner
 from repro.partition.metrics import edge_cut_ratio
 
 
@@ -25,7 +27,7 @@ def g():
 
 
 def test_stream_partition_pass(benchmark, g):
-    """One Fennel-style streaming pass over 10k vertices."""
+    """One Fennel-style streaming pass over 10k vertices (auto kernel)."""
     weights = np.ones(g.num_vertices)
     alpha = default_alpha(g, 8)
     benchmark(
@@ -35,6 +37,28 @@ def test_stream_partition_pass(benchmark, g):
         vertex_weights=weights,
         alpha=alpha,
     )
+
+
+@pytest.mark.parametrize("kernel", available_kernels())
+def test_stream_partition_kernel(benchmark, g, kernel):
+    """The same pass per backend — the speedup ledger the kernel layer
+    is accountable to (see BENCH_hotpaths.json for the recorded trail)."""
+    weights = np.ones(g.num_vertices)
+    alpha = default_alpha(g, 8)
+    benchmark(
+        stream_partition,
+        g,
+        8,
+        vertex_weights=weights,
+        alpha=alpha,
+        kernel=kernel,
+    )
+
+
+@pytest.mark.parametrize("kernel", available_kernels())
+def test_ldg_kernel(benchmark, g, kernel):
+    """LDG served by the shared kernel layer, per backend."""
+    benchmark(lambda: LDGPartitioner(kernel=kernel).partition(g, 8))
 
 
 def test_neighbor_sum_gather(benchmark, g):

@@ -1,0 +1,95 @@
+"""Record per-kernel streaming-loop timings to BENCH_hotpaths.json.
+
+Runs the ``test_stream_partition_pass`` workload (10k-vertex social
+graph, k = 8) under every registered kernel backend, best-of-N wall
+clock, and appends one entry to ``BENCH_hotpaths.json`` at the repo
+root. The file is the perf trajectory for the streaming hot path: each
+PR that touches the kernels re-runs this script so regressions show up
+as a new entry, not a silent drift.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_kernel_baseline.py
+    PYTHONPATH=src python benchmarks/record_kernel_baseline.py --repeats 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import social_graph
+from repro.partition._streamcore import default_alpha, stream_partition
+from repro.partition.kernels import available_kernels, get_kernel
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_hotpaths.json"
+
+WORKLOAD = {
+    "bench": "test_stream_partition_pass",
+    "graph": "social_graph(10000, 16.0, 2.2, rng=1)",
+    "num_parts": 8,
+    "passes": 1,
+}
+
+
+def time_kernel(g, kernel: str, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one full streaming pass."""
+    weights = np.ones(g.num_vertices)
+    alpha = default_alpha(g, 8)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        stream_partition(g, 8, vertex_weights=weights, alpha=alpha, kernel=kernel)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5, help="best-of repeat count")
+    args = parser.parse_args()
+
+    g = social_graph(10_000, 16.0, 2.2, rng=1)
+    kernels = available_kernels()
+    timings: dict[str, float] = {}
+    for kernel in kernels:
+        # Warm-up outside the timed region (first numba call compiles).
+        time_kernel(g, kernel, 1)
+        timings[kernel] = time_kernel(g, kernel, args.repeats)
+        print(f"{kernel:12s} {timings[kernel] * 1e3:8.2f} ms")
+
+    scalar = timings["scalar"]
+    speedups = {k: scalar / t for k, t in timings.items() if k != "scalar"}
+    for k, s in sorted(speedups.items()):
+        print(f"{k:12s} {s:5.2f}x vs scalar")
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workload": WORKLOAD,
+        "auto_resolves_to": get_kernel("auto").name,
+        "repeats": args.repeats,
+        "seconds": {k: round(t, 6) for k, t in timings.items()},
+        "speedup_vs_scalar": {k: round(s, 2) for k, s in speedups.items()},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    history = []
+    if OUTPUT.exists():
+        history = json.loads(OUTPUT.read_text(encoding="utf-8")).get("entries", [])
+    history.append(entry)
+    OUTPUT.write_text(
+        json.dumps({"entries": history}, indent=1) + "\n", encoding="utf-8"
+    )
+    print(f"recorded to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

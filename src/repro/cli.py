@@ -56,6 +56,15 @@ def _partition_parser() -> argparse.ArgumentParser:
     p.add_argument("--parts", type=int, default=8)
     p.add_argument("--scale", type=float, default=1.0, help="dataset scale (datasets only)")
     p.add_argument("--seed", type=int, default=1)
+    from repro.partition.kernels import KERNEL_CHOICES
+
+    p.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="streaming-loop backend for streaming partitioners "
+        "(all backends produce identical assignments)",
+    )
     p.add_argument("--out", help="write the part-id vector to this .npy file")
     return p
 
@@ -119,9 +128,21 @@ def _run_partition(argv: list[str]) -> int:
     else:
         g = read_edge_list(args.graph)
     print(f"graph: {summarize(g)}")
-    try:
-        partitioner = get_partitioner(args.algo, seed=args.seed)
-    except TypeError:
+    # Partitioners accept different knob subsets (hash/chunk take no
+    # kernel, some take no seed); try the richest signature first.
+    partitioner = None
+    for kwargs in (
+        {"seed": args.seed, "kernel": args.kernel},
+        {"seed": args.seed},
+        {"kernel": args.kernel},
+        {},
+    ):
+        try:
+            partitioner = get_partitioner(args.algo, **kwargs)
+            break
+        except TypeError:
+            continue
+    if partitioner is None:  # pragma: no cover - every registered algo accepts ()
         partitioner = get_partitioner(args.algo)
     result = partitioner.partition(g, args.parts)
     print(f"{args.algo} into {args.parts} parts in {result.elapsed:.3f}s")

@@ -10,6 +10,8 @@ the partitioners simply iterate them.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -58,10 +60,12 @@ def _traversal_order(graph: CSRGraph, *, depth_first: bool) -> np.ndarray:
     for start in range(n):
         if visited[start]:
             continue
-        frontier = [start]
+        # deque gives O(1) at both ends; a list's pop(0) is O(frontier),
+        # which made BFS quadratic on long-frontier graphs.
+        frontier = deque((start,))
         visited[start] = True
         while frontier:
-            v = frontier.pop() if depth_first else frontier.pop(0)
+            v = frontier.pop() if depth_first else frontier.popleft()
             out[pos] = v
             pos += 1
             nbrs = indices[indptr[v] : indptr[v + 1]]

@@ -40,6 +40,12 @@ from repro.partition.combine import CombinePlan, combine_assignment, multi_layer
 from repro.partition.fennel import FennelPartitioner
 from repro.partition.gd import GDPartitioner
 from repro.partition.hashp import HashPartitioner
+from repro.partition.kernels import (
+    KERNEL_CHOICES,
+    KernelBackend,
+    available_kernels,
+    get_kernel,
+)
 from repro.partition.ldg import LDGPartitioner
 from repro.partition.metrics import (
     BalanceReport,
@@ -69,6 +75,10 @@ __all__ = [
     "FennelPartitioner",
     "LDGPartitioner",
     "BPartPartitioner",
+    "KernelBackend",
+    "KERNEL_CHOICES",
+    "available_kernels",
+    "get_kernel",
     "MultilevelPartitioner",
     "SpinnerPartitioner",
     "vertexcut",

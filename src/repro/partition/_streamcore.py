@@ -1,4 +1,4 @@
-"""Shared streaming-assignment loop for score-based partitioners.
+"""Shared streaming-assignment entry point for score-based partitioners.
 
 Fennel and BPart's partitioning phase differ only in their *balance
 indicator*: Fennel penalises ``|V_i|`` while BPart penalises the
@@ -7,15 +7,16 @@ the indicator into the same score (Eq. 2):
 
     S(v, G_i) = |V_i ∩ N(v)| − α·γ·W_i^{γ−1}
 
-This module implements that loop once, parameterised by a per-vertex
-*load increment* array ``w``: Fennel uses ``w ≡ 1``; BPart uses
-``w_v = c + (1−c)·deg(v)/d̄``. In both cases ``Σ w = n``, so the
+This module implements that contract once, parameterised by a
+per-vertex *load increment* array ``w``: Fennel uses ``w ≡ 1``; BPart
+uses ``w_v = c + (1−c)·deg(v)/d̄``. In both cases ``Σ w = n``, so the
 capacity bound ``ν·n/k`` applies uniformly.
 
-The loop is sequential by nature (each assignment feeds the next
-score), so the per-vertex body is kept allocation-light: one
-``np.bincount`` over the already-assigned neighbours plus vectorised
-score arithmetic over ``k`` parts.
+The inner loop itself lives in :mod:`repro.partition.kernels`: the
+``kernel=`` knob selects between the reference per-vertex NumPy loop
+(``scalar``), the delta-maintained ``incremental`` loop, the chunked
+``buffered`` gather, and the optional ``numba`` JIT — all bit-exact
+with each other, so the knob trades throughput only.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
+from repro.partition.kernels import get_kernel
 
 __all__ = ["stream_partition", "default_alpha"]
 
@@ -32,9 +34,14 @@ def default_alpha(graph: CSRGraph, num_parts: int) -> float:
     """Fennel's recommended ``α = √k · m / n^{3/2}`` (γ = 1.5).
 
     ``m`` counts undirected edges, matching the original formulation.
+    An edgeless graph would yield ``α = 0`` — no balance penalty at all,
+    so every vertex lands in part 0 until the capacity cap kicks in.
+    Substituting ``m = 1`` keeps the penalty positive, and with no
+    overlap signal a positive penalty alone is a round-robin: each
+    vertex goes to the (first) least-loaded part.
     """
     n = max(graph.num_vertices, 1)
-    m = graph.num_undirected_edges
+    m = max(graph.num_undirected_edges, 1)
     return float(np.sqrt(num_parts) * m / n**1.5)
 
 
@@ -49,6 +56,7 @@ def stream_partition(
     order: str = "natural",
     rng=None,
     passes: int = 1,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """Streaming assignment; returns the part-id vector.
 
@@ -72,6 +80,10 @@ def stream_partition(
         with the full previous assignment visible — a vertex is pulled
         out of its part (its load released) and re-scored against every
         neighbour, which monotonically tightens the cut.
+    kernel:
+        Inner-loop backend (see :mod:`repro.partition.kernels`). All
+        backends produce identical assignments; ``auto`` picks the
+        fastest one available.
     """
     n = graph.num_vertices
     k = int(num_parts)
@@ -80,50 +92,21 @@ def stream_partition(
         return parts
     if passes < 1:
         raise ValueError(f"passes must be >= 1, got {passes}")
+    backend = get_kernel(kernel)
     w = np.ascontiguousarray(vertex_weights, dtype=np.float64)
     loads = np.zeros(k, dtype=np.float64)
     capacity = slack * w.sum() / k
-
-    indptr = graph.indptr
-    indices = graph.indices
     stream = vertex_stream(graph, order, rng=rng)
-
-    # Hoisted buffers — reused every iteration (guides: preallocate, use
-    # in-place ops inside hot loops).
-    scores = np.empty(k, dtype=np.float64)
-    penalty = np.empty(k, dtype=np.float64)
-    gamma_minus_1 = gamma - 1.0
-    ag = alpha * gamma
-
-    for pass_no in range(passes):
-        for v in stream:
-            current = parts[v]
-            if current >= 0:
-                # Re-streaming: release v's load before re-scoring.
-                loads[current] -= w[v]
-            nbrs = indices[indptr[v] : indptr[v + 1]]
-            assigned = parts[nbrs]
-            assigned = assigned[assigned >= 0]
-            # Score: neighbour overlap minus the balance penalty.
-            np.power(loads, gamma_minus_1, out=penalty)
-            penalty *= ag
-            if assigned.size:
-                np.subtract(
-                    np.bincount(assigned, minlength=k).astype(np.float64),
-                    penalty,
-                    out=scores,
-                )
-            else:
-                np.negative(penalty, out=scores)
-            # Exclude saturated parts; if every part is saturated (can
-            # happen for the final few heavy vertices), fall back to
-            # least-loaded.
-            over = loads >= capacity
-            if over.all():
-                choice = int(np.argmin(loads))
-            else:
-                scores[over] = -np.inf
-                choice = int(np.argmax(scores))
-            parts[v] = choice
-            loads[choice] += w[v]
+    backend.fennel(
+        graph.indptr,
+        graph.indices,
+        stream,
+        parts,
+        loads,
+        w,
+        alpha=float(alpha),
+        gamma=float(gamma),
+        capacity=float(capacity),
+        passes=int(passes),
+    )
     return parts

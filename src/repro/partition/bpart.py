@@ -36,6 +36,7 @@ from repro.partition._streamcore import default_alpha, stream_partition
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import Partitioner, register_partitioner
 from repro.partition.combine import multi_layer_combine
+from repro.partition.kernels import get_kernel
 from repro.utils.timing import WallClock
 from repro.utils.validation import check_fraction, check_positive, check_probability
 
@@ -67,6 +68,7 @@ def weighted_stream_partition(
     order: str = "natural",
     rng=None,
     passes: int = 1,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """Phase-1 streaming pass with the weighted indicator (Eq. 1 + 2)."""
     check_probability("c", c)
@@ -82,6 +84,7 @@ def weighted_stream_partition(
         order=order,
         rng=rng,
         passes=passes,
+        kernel=kernel,
     )
 
 
@@ -108,6 +111,11 @@ class BPartPartitioner(Partitioner):
         Streaming-score knobs shared with Fennel.
     passes:
         Re-streaming passes per phase-1 invocation (ReFennel-style).
+    kernel:
+        Streaming-loop backend (:mod:`repro.partition.kernels`). BPart
+        streams the graph ``2^ℓ·N`` pieces × layers × passes times, so
+        the backend choice multiplies across the whole combine schedule;
+        all backends are bit-exact, so results are unchanged.
     refine:
         Run balance-preserving FM-style boundary refinement
         (:func:`repro.partition.refine.refine_assignment`) after the
@@ -131,6 +139,7 @@ class BPartPartitioner(Partitioner):
         order: str = "natural",
         seed: int | None = None,
         passes: int = 1,
+        kernel: str = "auto",
         refine: bool = False,
     ) -> None:
         check_probability("c", c)
@@ -152,6 +161,7 @@ class BPartPartitioner(Partitioner):
         self._slack = slack
         self._order = order
         self._seed = seed
+        self._kernel = get_kernel(kernel).name
 
     def _partition(
         self, graph: CSRGraph, num_parts: int, clock: WallClock
@@ -168,6 +178,7 @@ class BPartPartitioner(Partitioner):
                     order=self._order,
                     rng=self._seed,
                     passes=self._passes,
+                    kernel=self._kernel,
                 )
 
         with clock.measure("combine"):
@@ -182,6 +193,7 @@ class BPartPartitioner(Partitioner):
             )
         metadata = {
             "c": self._c,
+            "kernel": self._kernel,
             "layers": [
                 {
                     "layer": t.layer,

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, PartitionError
+from repro.partition.kernels import get_kernel
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = ["DynamicPartitioner"]
@@ -52,6 +53,11 @@ class DynamicPartitioner:
                 counters, so scores can differ in the last ulp on exact
                 ties). When ``None`` (open-ended ingest), both adapt to
                 the running totals.
+    kernel:     scoring backend (:mod:`repro.partition.kernels`); the
+                per-arrival decision is the kernels' ``single``
+                primitive, so the same knob that accelerates the
+                offline streams applies to online ingest. All backends
+                choose identically.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class DynamicPartitioner:
         slack: float = 1.1,
         avg_degree: float = 10.0,
         expected_vertices: int | None = None,
+        kernel: str = "auto",
     ) -> None:
         check_positive("num_parts", num_parts)
         check_probability("c", c)
@@ -79,6 +86,7 @@ class DynamicPartitioner:
         self._slack = float(slack)
         self._prior_dbar = float(avg_degree)
         self._expected = int(expected_vertices) if expected_vertices else None
+        self._backend = get_kernel(kernel)
 
         self._parts: dict[int, int] = {}
         self._degrees: dict[int, int] = {}
@@ -158,14 +166,13 @@ class DynamicPartitioner:
             else max(len(self._parts) + 1, self._k)
         )
         capacity = self._slack * provisioned / self._k
-        penalty = self._current_alpha() * self._gamma * loads ** (self._gamma - 1.0)
-        scores = overlap - penalty
-        over = loads >= capacity
-        if over.all():
-            choice = int(np.argmin(loads))
-        else:
-            scores[over] = -np.inf
-            choice = int(np.argmax(scores))
+        choice = self._backend.single(
+            overlap,
+            loads,
+            alpha=self._current_alpha(),
+            gamma=self._gamma,
+            capacity=float(capacity),
+        )
 
         self._parts[vertex] = choice
         self._degrees[vertex] = degree

@@ -21,6 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.partition._streamcore import default_alpha, stream_partition
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import Partitioner, register_partitioner
+from repro.partition.kernels import get_kernel
 from repro.utils.timing import WallClock
 from repro.utils.validation import check_positive
 
@@ -45,6 +46,9 @@ class FennelPartitioner(Partitioner):
     passes:
         Re-streaming passes (ReFennel); extra passes tighten the cut at
         proportional extra cost.
+    kernel:
+        Inner-loop backend (:mod:`repro.partition.kernels`); all
+        backends are bit-exact, so this knob trades throughput only.
     """
 
     name = "fennel"
@@ -58,6 +62,7 @@ class FennelPartitioner(Partitioner):
         order: str = "natural",
         seed: int | None = None,
         passes: int = 1,
+        kernel: str = "auto",
     ) -> None:
         if alpha is not None:
             check_positive("alpha", alpha)
@@ -70,6 +75,9 @@ class FennelPartitioner(Partitioner):
         self._order = order
         self._seed = seed
         self._passes = int(passes)
+        # Resolve eagerly: validates the name and pins "auto" to the
+        # concrete backend so metadata reports what actually ran.
+        self._kernel = get_kernel(kernel).name
 
     def _partition(
         self, graph: CSRGraph, num_parts: int, clock: WallClock
@@ -86,10 +94,11 @@ class FennelPartitioner(Partitioner):
                 order=self._order,
                 rng=self._seed,
                 passes=self._passes,
+                kernel=self._kernel,
             )
         return (
             PartitionAssignment(graph, parts, num_parts),
-            {"alpha": alpha, "gamma": self._gamma, "order": self._order},
+            {"alpha": alpha, "gamma": self._gamma, "order": self._order, "kernel": self._kernel},
         )
 
 

@@ -1,0 +1,45 @@
+"""Pluggable backends for the streaming-assignment inner loop.
+
+Importing this package registers every backend importable in the
+current environment:
+
+``scalar``
+    The original per-vertex NumPy loop — the bit-exact reference.
+``incremental``
+    Same semantics, O(1)/vertex penalty maintenance and a
+    delta-updated neighbour counter; ~4× faster at the paper's ``k``.
+``buffered``
+    Chunked vectorised CSR gather with exact intra-chunk fixups;
+    fastest pure-NumPy backend (~5×).
+``numba``
+    JIT-compiled incremental loop; registered only when numba is
+    installed, otherwise ``get_kernel("numba")`` falls back to
+    ``incremental``.
+
+``get_kernel("auto")`` — the default everywhere a ``kernel=`` knob is
+exposed — picks ``numba`` when available and ``incremental`` otherwise;
+all shipped backends produce identical assignments, so the knob trades
+throughput only (see ``tests/partition/test_kernels.py``).
+"""
+
+from repro.partition.kernels.base import (
+    KERNEL_CHOICES,
+    KernelBackend,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.partition.kernels import scalar as _scalar  # noqa: F401 (registers)
+from repro.partition.kernels import incremental as _incremental  # noqa: F401
+from repro.partition.kernels import buffered as _buffered  # noqa: F401
+from repro.partition.kernels import numba_backend as _numba_backend  # noqa: F401
+from repro.partition.kernels.numba_backend import HAVE_NUMBA
+
+__all__ = [
+    "KernelBackend",
+    "KERNEL_CHOICES",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "HAVE_NUMBA",
+]

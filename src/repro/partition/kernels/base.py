@@ -1,0 +1,124 @@
+"""Kernel registry for the streaming-assignment inner loop.
+
+Every streaming partitioner in this library (Fennel, BPart phase-1, LDG,
+the dynamic variant) bottoms out in the same sequential inner loop: pop
+the next vertex off the stream, measure its overlap with each part,
+apply a balance term, assign, update the loads. The loop is inherently
+sequential — each assignment feeds the next score — but *how* the body
+is computed is an implementation detail, and the fastest implementation
+depends on what is installed and on the workload shape. This module
+owns the dispatch.
+
+A backend bundles three entry points:
+
+``fennel``
+    The additive-penalty loop of Eq. 2 (shared by Fennel and BPart's
+    partitioning phase):  ``S(v, G_i) = |V_i ∩ N(v)| − α·γ·W_i^{γ−1}``.
+``ldg``
+    The multiplicative LDG rule: ``|V_i ∩ N(v)| · (1 − W_i/C)``.
+``single``
+    One scoring decision for an externally-maintained state — the
+    primitive :class:`~repro.partition.dynamic.DynamicPartitioner`
+    builds on.
+
+Backends register themselves at import time (see
+:mod:`repro.partition.kernels`); :func:`get_kernel` resolves a name —
+including ``"auto"`` and graceful fallbacks for optional backends — to
+a :class:`KernelBackend`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KernelBackend",
+    "KERNEL_CHOICES",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "pow_like_numpy",
+]
+
+#: Names accepted by ``kernel=`` knobs. ``auto`` resolves to the fastest
+#: available bit-exact backend (``numba`` when importable, else
+#: ``incremental``); ``numba`` silently falls back to ``incremental``
+#: when the JIT is not installed.
+KERNEL_CHOICES = ("auto", "scalar", "incremental", "buffered", "numba")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One streaming-assignment implementation.
+
+    ``fennel``/``ldg`` mutate the ``parts`` and ``loads`` arrays they are
+    handed; ``single`` returns the chosen part id. ``exact`` records
+    whether the backend is bit-exact with the ``scalar`` reference (all
+    shipped backends are; the flag exists so a future approximate
+    backend can be gated by tolerance tests instead of parity tests).
+    """
+
+    name: str
+    fennel: Callable[..., None]
+    ldg: Callable[..., None]
+    single: Callable[..., int]
+    exact: bool = True
+    description: str = ""
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_kernel(backend: KernelBackend) -> None:
+    """Register ``backend`` under its (lowercased) name."""
+    _REGISTRY[backend.name.lower()] = backend
+
+
+def available_kernels() -> list[str]:
+    """Sorted names of the backends actually importable in this process."""
+    return sorted(_REGISTRY)
+
+
+def get_kernel(name: str | None = "auto") -> KernelBackend:
+    """Resolve a kernel name to a registered backend.
+
+    ``"auto"`` (or ``None``) prefers the JIT backend when numba is
+    installed and otherwise uses ``incremental`` — both are bit-exact
+    with ``scalar``, so the default never changes results. Requesting
+    ``"numba"`` without numba installed falls back to ``incremental``
+    rather than erroring, matching how optional accelerators should
+    degrade.
+    """
+    key = (name or "auto").lower()
+    if key == "auto":
+        key = "numba" if "numba" in _REGISTRY else "incremental"
+    elif key == "numba" and "numba" not in _REGISTRY:
+        key = "incremental"
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown streaming kernel {name!r}; choose from {KERNEL_CHOICES}"
+        )
+    return _REGISTRY[key]
+
+
+def pow_like_numpy(base: float, exp: float) -> float:
+    """``base ** exp`` with :func:`numpy.power`'s edge-case semantics.
+
+    Python's ``0.0 ** -0.5`` raises while ``np.power`` returns ``inf``;
+    the pure-Python kernels must match the vectorised reference exactly,
+    including at a zero load with ``γ < 1``. For normal positive bases
+    both route to the platform ``pow``, so results are bit-identical.
+    """
+    if base == 0.0:
+        if exp > 0.0:
+            return 0.0
+        if exp == 0.0:
+            return 1.0
+        return math.inf
+    if base < 0.0 and not float(exp).is_integer():
+        return math.nan
+    return base**exp

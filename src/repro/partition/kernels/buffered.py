@@ -1,0 +1,255 @@
+"""Buffered streaming kernel: chunked vectorised overlap gather.
+
+Processes the stream in chunks of ``B`` vertices (Chhabra et al.'s
+buffered-streaming idea, 2024). For each chunk, the neighbour-part
+overlap of *all* chunk members is computed with one vectorised CSR
+gather plus a single flat ``bincount`` over ``chunk_pos·k + part``
+keys — amortising the NumPy dispatch overhead the scalar loop pays per
+vertex across ``B`` vertices.
+
+Chunk members are then resolved sequentially. The gathered overlap is a
+snapshot from the chunk boundary, so it is blind to assignments made
+*inside* the chunk; left uncorrected this costs real quality (≈ 25–35 %
+worse cuts on the 10k-vertex social micro-bench, because early chunks
+place the hubs with no signal). Instead of accepting the approximation,
+the resolver patches the snapshot exactly: intra-chunk edges (a
+``B/n``-fraction of all edges) are extracted from the same gather, and
+each vertex pulls the *current* part of its already-resolved
+chunk-mates before scoring. That restores the scalar reference's
+semantics bit-for-bit — the sequence of (count, penalty) pairs fed to
+the argmax is identical — while keeping the heavy gather vectorised.
+The ``kernel="buffered"`` knob therefore changes throughput only, never
+assignments; the parity suite holds it to the same standard as
+``incremental``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.kernels.base import KernelBackend, pow_like_numpy, register_kernel
+from repro.partition.kernels.incremental import single_incremental
+
+__all__ = ["BACKEND", "DEFAULT_CHUNK"]
+
+#: Chunk size ``B``. Large enough to amortise the gather's fixed cost,
+#: small enough that the ``B·k`` overlap table stays cache-resident.
+DEFAULT_CHUNK = 256
+
+_NEG_INF = float("-inf")
+
+
+def _chunk_overlap(indptr, indices, parts, posmap, chunk, k):
+    """Vectorised snapshot overlap + intra-chunk pull lists for one chunk.
+
+    Returns ``(overlap, pulls, num_assigned)`` where ``overlap[i][p]``
+    counts ``chunk[i]``'s neighbours assigned to part ``p`` as of the
+    chunk boundary, ``pulls[i]`` lists earlier chunk positions adjacent
+    to ``i`` (or ``None``), and ``num_assigned[i]`` is the row sum.
+    """
+    B = chunk.size
+    lens = indptr[chunk + 1] - indptr[chunk]
+    total = int(lens.sum())
+    if total == 0:
+        return [[0] * k for _ in range(B)], [None] * B, [0] * B
+    first = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    gather = np.repeat(indptr[chunk] - first, lens) + np.arange(total)
+    nbrs = indices[gather]
+    owner = np.repeat(np.arange(B, dtype=np.int64), lens)
+    nbr_parts = parts[nbrs]
+    valid = nbr_parts >= 0
+    flat = np.bincount(owner[valid] * k + nbr_parts[valid], minlength=B * k)
+    table = flat.reshape(B, k)
+    num_assigned = table.sum(axis=1).tolist()
+    overlap = table.tolist()
+
+    pulls: list[list[int] | None] = [None] * B
+    nbr_pos = posmap[nbrs]
+    intra = np.nonzero(nbr_pos >= 0)[0]
+    if intra.size:
+        for i, j in zip(owner[intra].tolist(), nbr_pos[intra].tolist()):
+            if j < i:  # only already-resolved chunk-mates can diverge
+                if pulls[i] is None:
+                    pulls[i] = [j]
+                else:
+                    pulls[i].append(j)
+    return overlap, pulls, num_assigned
+
+
+def fennel_buffered(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    stream: np.ndarray,
+    parts: np.ndarray,
+    loads: np.ndarray,
+    weights: np.ndarray,
+    *,
+    alpha: float,
+    gamma: float,
+    capacity: float,
+    passes: int,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> None:
+    n = parts.shape[0]
+    k = loads.shape[0]
+    gm1 = gamma - 1.0
+    ag = alpha * gamma
+    weights_l = weights.tolist()
+    parts_l = parts.tolist()
+    loads_l = loads.tolist()
+    penalty = [ag * pow_like_numpy(x, gm1) for x in loads_l]
+    saturated = [x >= capacity for x in loads_l]
+    num_saturated = sum(saturated)
+    posmap = np.full(n, -1, dtype=np.int64)
+
+    for _pass in range(passes):
+        for begin in range(0, n, chunk_size):
+            chunk = stream[begin : begin + chunk_size]
+            B = chunk.size
+            posmap[chunk] = np.arange(B)
+            overlap, pulls, _ = _chunk_overlap(indptr, indices, parts, posmap, chunk, k)
+            posmap[chunk] = -1
+            chunk_l = chunk.tolist()
+            snapshot = [parts_l[v] for v in chunk_l]
+            for i in range(B):
+                v = chunk_l[i]
+                current = parts_l[v]
+                if current >= 0:
+                    # Re-streaming: release v's load before re-scoring.
+                    released = loads_l[current] - weights_l[v]
+                    loads_l[current] = released
+                    penalty[current] = ag * pow_like_numpy(released, gm1)
+                    if saturated[current] and released < capacity:
+                        saturated[current] = False
+                        num_saturated -= 1
+                row = overlap[i]
+                pull = pulls[i]
+                if pull is not None:
+                    # Patch the snapshot with chunk-mates resolved since
+                    # the chunk boundary — this is what makes the chunked
+                    # resolution exact rather than approximate.
+                    for j in pull:
+                        old = snapshot[j]
+                        new = parts_l[chunk_l[j]]
+                        if old != new:
+                            if old >= 0:
+                                row[old] -= 1
+                            row[new] += 1
+                if num_saturated == k:
+                    choice = 0
+                    best_load = loads_l[0]
+                    for p in range(1, k):
+                        if loads_l[p] < best_load:
+                            best_load = loads_l[p]
+                            choice = p
+                else:
+                    choice = -1
+                    best = _NEG_INF
+                    for p in range(k):
+                        if saturated[p]:
+                            continue
+                        s = row[p] - penalty[p]
+                        if s > best:
+                            best = s
+                            choice = p
+                parts_l[v] = choice
+                grown = loads_l[choice] + weights_l[v]
+                loads_l[choice] = grown
+                penalty[choice] = ag * pow_like_numpy(grown, gm1)
+                if not saturated[choice] and grown >= capacity:
+                    saturated[choice] = True
+                    num_saturated += 1
+            parts[chunk] = np.fromiter(
+                (parts_l[v] for v in chunk_l), dtype=parts.dtype, count=B
+            )
+
+    loads[:] = loads_l
+
+
+def ldg_buffered(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    stream: np.ndarray,
+    parts: np.ndarray,
+    loads: np.ndarray,
+    *,
+    capacity: float,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> None:
+    n = parts.shape[0]
+    k = loads.shape[0]
+    parts_l = parts.tolist()
+    loads_l = loads.tolist()
+    weight = [1.0 - x / capacity for x in loads_l]
+    saturated = [x >= capacity for x in loads_l]
+    num_saturated = sum(saturated)
+    posmap = np.full(n, -1, dtype=np.int64)
+
+    for begin in range(0, n, chunk_size):
+        chunk = stream[begin : begin + chunk_size]
+        B = chunk.size
+        posmap[chunk] = np.arange(B)
+        overlap, pulls, num_assigned = _chunk_overlap(
+            indptr, indices, parts, posmap, chunk, k
+        )
+        posmap[chunk] = -1
+        chunk_l = chunk.tolist()
+        for i in range(B):
+            v = chunk_l[i]
+            row = overlap[i]
+            assigned = num_assigned[i]
+            pull = pulls[i]
+            if pull is not None:
+                for j in pull:
+                    # LDG is single-pass: chunk-mates were unassigned at
+                    # the snapshot, so every pull is a pure addition.
+                    row[parts_l[chunk_l[j]]] += 1
+                    assigned += 1
+            if num_saturated == k:
+                choice = 0
+                best_load = loads_l[0]
+                for p in range(1, k):
+                    if loads_l[p] < best_load:
+                        best_load = loads_l[p]
+                        choice = p
+            else:
+                choice = -1
+                best = _NEG_INF
+                if assigned:
+                    for p in range(k):
+                        if saturated[p]:
+                            continue
+                        s = row[p] * weight[p]
+                        if s > best:
+                            best = s
+                            choice = p
+                else:
+                    for p in range(k):  # empty overlap → fill least loaded
+                        if saturated[p]:
+                            continue
+                        if weight[p] > best:
+                            best = weight[p]
+                            choice = p
+            parts_l[v] = choice
+            grown = loads_l[choice] + 1.0
+            loads_l[choice] = grown
+            weight[choice] = 1.0 - grown / capacity
+            if not saturated[choice] and grown >= capacity:
+                saturated[choice] = True
+                num_saturated += 1
+        parts[chunk] = np.fromiter(
+            (parts_l[v] for v in chunk_l), dtype=parts.dtype, count=B
+        )
+
+    loads[:] = loads_l
+
+
+BACKEND = KernelBackend(
+    name="buffered",
+    fennel=fennel_buffered,
+    ldg=ldg_buffered,
+    single=single_incremental,
+    exact=True,
+    description=f"chunked CSR gather + flat bincount (B={DEFAULT_CHUNK}), exact fixups",
+)
+register_kernel(BACKEND)

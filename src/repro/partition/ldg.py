@@ -9,6 +9,11 @@ i.e. neighbour overlap scaled by remaining capacity. Not compared in the
 paper's evaluation, but it predates Fennel and is included as an extra
 baseline for the bias-scatter ablation: like Fennel it balances only the
 vertex dimension.
+
+The inner loop is served by the shared kernel layer
+(:mod:`repro.partition.kernels`) rather than a private copy — every
+backend implements the LDG rule alongside the Fennel score, so the
+``kernel=`` knob applies here too.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import Partitioner, register_partitioner
+from repro.partition.kernels import get_kernel
 from repro.utils.timing import WallClock
 from repro.utils.validation import check_positive
 
@@ -32,11 +38,19 @@ class LDGPartitioner(Partitioner):
 
     name = "ldg"
 
-    def __init__(self, *, slack: float = 1.1, order: str = "natural", seed: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        slack: float = 1.1,
+        order: str = "natural",
+        seed: int | None = None,
+        kernel: str = "auto",
+    ) -> None:
         check_positive("slack", slack)
         self._slack = slack
         self._order = order
         self._seed = seed
+        self._kernel = get_kernel(kernel)
 
     def _partition(
         self, graph: CSRGraph, num_parts: int, clock: WallClock
@@ -46,32 +60,21 @@ class LDGPartitioner(Partitioner):
         parts = np.full(n, -1, dtype=np.int32)
         loads = np.zeros(k, dtype=np.float64)
         capacity = self._slack * n / k
-        indptr, indices = graph.indptr, graph.indices
         stream = vertex_stream(graph, self._order, rng=self._seed)
-        scores = np.empty(k, dtype=np.float64)
 
         with clock.measure("stream"):
-            for v in stream:
-                nbrs = indices[indptr[v] : indptr[v + 1]]
-                assigned = parts[nbrs]
-                assigned = assigned[assigned >= 0]
-                weight = 1.0 - loads / capacity
-                if assigned.size:
-                    np.multiply(
-                        np.bincount(assigned, minlength=k).astype(np.float64),
-                        weight,
-                        out=scores,
-                    )
-                else:
-                    scores[:] = weight  # empty overlap → fill least loaded
-                scores[loads >= capacity] = -np.inf
-                if np.isneginf(scores).all():
-                    choice = int(np.argmin(loads))
-                else:
-                    choice = int(np.argmax(scores))
-                parts[v] = choice
-                loads[choice] += 1.0
-        return PartitionAssignment(graph, parts, num_parts), {"order": self._order}
+            self._kernel.ldg(
+                graph.indptr,
+                graph.indices,
+                stream,
+                parts,
+                loads,
+                capacity=float(capacity),
+            )
+        return (
+            PartitionAssignment(graph, parts, num_parts),
+            {"order": self._order, "kernel": self._kernel.name},
+        )
 
 
 register_partitioner("ldg", LDGPartitioner)

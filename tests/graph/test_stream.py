@@ -51,3 +51,30 @@ class TestOrders:
     def test_unknown_order(self, ring64):
         with pytest.raises(ConfigurationError):
             vertex_stream(ring64, "spiral")
+
+
+class TestTraversalFrontier:
+    """Regression for the O(n·frontier) BFS: the frontier is a deque now
+    (list.pop(0) was quadratic). Timing-free — asserts the *order*
+    stays the documented FIFO/LIFO semantics on structured graphs."""
+
+    def test_bfs_path_graph_is_fifo(self):
+        from repro.graph import path_graph
+
+        n = 2000
+        s = vertex_stream(path_graph(n), "bfs")
+        # FIFO discovery from vertex 0 along a path is exactly 0..n-1;
+        # any stack-like slip in the frontier would reorder the tail.
+        assert np.array_equal(s, np.arange(n))
+
+    def test_dfs_still_lifo_on_star(self, star16):
+        s = vertex_stream(star16, "dfs")  # hub 0 + 16 leaves
+        # Hub first, then leaves in reverse push order (LIFO).
+        assert s[0] == 0
+        assert np.array_equal(np.sort(s[1:]), np.arange(1, 17))
+        assert s[1] == 16
+
+    def test_bfs_star_visits_leaves_in_push_order(self, star16):
+        s = vertex_stream(star16, "bfs")
+        assert s[0] == 0
+        assert np.array_equal(s[1:], np.arange(1, 17))  # FIFO keeps push order

@@ -140,6 +140,16 @@ class TestFennel:
         res = FennelPartitioner().partition(powerlaw_small, 4)
         assert res.metadata["alpha"] > 0
 
+    def test_edgeless_graph_round_robins(self):
+        # m = 0 used to zero out alpha: no balance penalty, every vertex
+        # in part 0. The default_alpha guard keeps the penalty positive,
+        # which with no overlap signal degenerates to round-robin.
+        from repro.graph import from_edges
+
+        g = from_edges([], [], num_vertices=12)
+        a = FennelPartitioner().partition(g, 3).assignment
+        assert list(a.vertex_counts) == [4, 4, 4]
+
 
 class TestLDG:
     def test_vertex_balance(self, powerlaw_small):

@@ -8,8 +8,16 @@ from repro.bench.harness import (
     register_experiment,
     run_experiment,
 )
+from repro.bench.artifacts import (
+    cached_partition,
+    get_assignment,
+    get_store,
+    reset_store,
+    stats_snapshot,
+)
 from repro.bench.claims import Claim, ClaimResult, all_claims, check_claims
 from repro.bench.report import BarChart, Series, Table
+from repro.bench.runner import ExperimentOutcome, run_suite
 from repro.bench.workloads import (
     ALL_APPS,
     PAPER_PARTITIONERS,
@@ -39,4 +47,11 @@ __all__ = [
     "make_partitioners",
     "run_app",
     "run_walk_job",
+    "ExperimentOutcome",
+    "run_suite",
+    "cached_partition",
+    "get_assignment",
+    "get_store",
+    "reset_store",
+    "stats_snapshot",
 ]

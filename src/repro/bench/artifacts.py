@@ -1,0 +1,394 @@
+"""Content-addressed artifact cache for partitions and simulated runs.
+
+The paper's economic argument (Table 2, §4.2) is that partitioning cost
+is paid **once** and amortised across seven applications. The bench
+suite originally paid it on every figure: ``repro-bench all`` runs ~19
+experiments and each regenerated assignments for the same (dataset ×
+partitioner × seed) cells from scratch. This module is the persistent
+reuse layer:
+
+- **Addressing.** An artifact is addressed by the *content* of its
+  inputs, never by timestamps or file names: the graph half of the key
+  is :meth:`repro.graph.csr.CSRGraph.fingerprint` (a SHA-256 over the
+  CSR arrays), the configuration half is :func:`config_key` — a digest
+  of the partitioner/app name, its canonically normalised parameters,
+  the seed, and :data:`CACHE_FORMAT_VERSION` as a salt. Bump the salt
+  whenever the stored layout or any algorithm's semantics change and
+  every stale artifact silently becomes a miss.
+- **Store.** ``.npz`` files under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro-bpart/``), one subdirectory per artifact kind, with
+  an in-process LRU in front so a warm experiment never touches the
+  disk twice. Writes are atomic (temp file + ``os.replace``) so
+  parallel ``--jobs`` workers can share one store; unreadable or
+  truncated files are treated as misses, deleted best-effort, and
+  recomputed — never a crash.
+- **Bypass.** Timing-measurement experiments (Table 2's partition
+  overhead) pass ``bypass=True`` so their wall clocks are always
+  measured fresh; ``REPRO_NO_CACHE=1`` (the CLI's ``--no-cache``)
+  disables reads *and* writes globally.
+
+Two artifact kinds ride the store: ``partition`` (assignment vectors —
+the headline reuse, :func:`cached_partition` / :func:`get_assignment`)
+and the simulation summaries kept by :mod:`repro.bench.workloads`
+(deterministic simulated measurements are replayable artifacts too).
+Hit/miss/store/error counters are kept per process and surfaced by the
+CLI so the speedup is observable, not asserted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.assignment import PartitionAssignment
+from repro.partition.base import PartitionResult, get_partitioner
+from repro.utils.timing import WallClock
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ArtifactStore",
+    "CacheStats",
+    "cache_enabled",
+    "cached_edge_partition",
+    "cached_partition",
+    "config_key",
+    "default_cache_dir",
+    "get_assignment",
+    "get_store",
+    "reset_store",
+    "stats_snapshot",
+]
+
+#: bump whenever the artifact layout or any partitioner's semantics
+#: change; the salt is hashed into every key, so old artifacts miss.
+CACHE_FORMAT_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+def cache_enabled() -> bool:
+    """Whether the artifact cache is globally enabled (``REPRO_NO_CACHE``)."""
+    return os.environ.get(_ENV_DISABLE, "").lower() not in ("1", "true", "yes")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bpart``."""
+    env = os.environ.get(_ENV_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-bpart"
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def _normalize_param(value: Any) -> Any:
+    """Canonical JSON form: ``1`` and ``1.0`` must produce one key."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))
+    if isinstance(value, (list, tuple)):
+        return [_normalize_param(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _normalize_param(v) for k, v in sorted(value.items())}
+    raise TypeError(f"parameter {value!r} is not cache-keyable")
+
+
+def config_key(name: str, params: Mapping[str, Any]) -> str:
+    """Digest of (name, sorted normalised params, format-version salt)."""
+    payload = json.dumps(
+        {
+            "name": name.lower(),
+            "params": _normalize_param(dict(params)),
+            "version": CACHE_FORMAT_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def scalar_attrs(obj: Any) -> dict[str, Any]:
+    """Cache-keyable instance attributes (guards against default drift:
+    a partitioner's scalar knobs enter the key even when the caller
+    relied on defaults)."""
+    out: dict[str, Any] = {}
+    for attr, value in sorted(vars(obj).items()):
+        if isinstance(value, (bool, int, float, str, type(None), np.integer, np.floating)):
+            out[attr.lstrip("_")] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Per-process hit/miss accounting, split by artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+    by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def record(self, kind: str, event: str) -> None:
+        setattr(self, event, getattr(self, event) + 1)
+        bucket = self.by_kind.setdefault(
+            kind, {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        )
+        bucket[event] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+            "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
+        }
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """Persistent ``.npz`` store with an in-process LRU in front.
+
+    Payloads are plain ``dict[str, np.ndarray]`` (scalars become 0-d
+    arrays on disk). The LRU holds the *same* payload dicts that disk
+    hits produce, so callers may attach reconstructed objects under
+    keys starting with ``"__"`` — those never touch the disk and are
+    shared by later in-process hits.
+    """
+
+    def __init__(self, root: Path | None = None, *, memory_items: int = 128) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+        self._memory: OrderedDict[tuple[str, str, str], dict] = OrderedDict()
+        self._memory_items = int(memory_items)
+
+    def path_for(self, kind: str, graph_fp: str, key: str) -> Path:
+        return self.root / kind / f"{graph_fp[:20]}-{key[:20]}.npz"
+
+    def contains(self, kind: str, graph_fp: str, key: str) -> bool:
+        """Presence check with no stats side effects."""
+        if (kind, graph_fp, key) in self._memory:
+            return True
+        return self.path_for(kind, graph_fp, key).exists()
+
+    def load(self, kind: str, graph_fp: str, key: str) -> dict | None:
+        """Payload for the key, or ``None`` (counted as a miss).
+
+        A present-but-unreadable file counts as an error *and* a miss:
+        it is removed best-effort and the caller recomputes.
+        """
+        mem_key = (kind, graph_fp, key)
+        payload = self._memory.get(mem_key)
+        if payload is not None:
+            self._memory.move_to_end(mem_key)
+            self.stats.record(kind, "hits")
+            return payload
+        path = self.path_for(kind, graph_fp, key)
+        if not path.exists():
+            self.stats.record(kind, "misses")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                payload = {name: data[name] for name in data.files}
+        except Exception:
+            self.stats.record(kind, "errors")
+            self.stats.record(kind, "misses")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self._remember(mem_key, payload)
+        self.stats.record(kind, "hits")
+        return payload
+
+    def store(self, kind: str, graph_fp: str, key: str, payload: dict) -> None:
+        """Atomically persist a payload (best-effort; IO failures only
+        cost the cache entry, never the computation)."""
+        self._remember((kind, graph_fp, key), payload)
+        if not cache_enabled():
+            return
+        path = self.path_for(kind, graph_fp, key)
+        disk = {k: v for k, v in payload.items() if not k.startswith("__")}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **disk)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+        except Exception:
+            self.stats.record(kind, "errors")
+            return
+        self.stats.record(kind, "stores")
+
+    def _remember(self, mem_key: tuple[str, str, str], payload: dict) -> None:
+        self._memory[mem_key] = payload
+        self._memory.move_to_end(mem_key)
+        while len(self._memory) > self._memory_items:
+            self._memory.popitem(last=False)
+
+
+_STORE: ArtifactStore | None = None
+
+
+def get_store() -> ArtifactStore:
+    """Process-wide store rooted at the current ``REPRO_CACHE_DIR``."""
+    global _STORE
+    root = default_cache_dir()
+    if _STORE is None or _STORE.root != root:
+        _STORE = ArtifactStore(root)
+    return _STORE
+
+
+def reset_store() -> None:
+    """Forget the process-wide store (tests, cache-dir changes)."""
+    global _STORE
+    _STORE = None
+
+
+def stats_snapshot() -> dict:
+    """Copy of the current process's cache counters."""
+    return get_store().stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Partition artifacts
+# ----------------------------------------------------------------------
+def _json_or_empty(obj: Any) -> str:
+    try:
+        return json.dumps(obj)
+    except (TypeError, ValueError):
+        return "{}"
+
+
+def cached_partition(
+    name: str,
+    graph: CSRGraph,
+    num_parts: int,
+    *,
+    seed: int = 0,
+    bypass: bool = False,
+    **params,
+) -> PartitionResult:
+    """Partition through the artifact cache.
+
+    On a hit the stored assignment is rehydrated against ``graph`` and
+    the result's clock replays the segments recorded when the artifact
+    was computed (``metadata["artifact_cache"] == "hit"`` marks it). On
+    a miss the named partitioner runs, and the artifact is stored for
+    every later process. ``bypass=True`` never *reads* — wall-clock
+    measurements (Table 2) must time a real run — and stores only when
+    the cell is still absent: a timing experiment warms a cold cache
+    for everyone else, but never perturbs the recorded clock that other
+    runs replay (warm suite outputs stay run-to-run identical).
+    """
+    partitioner = get_partitioner(name, seed=seed, **params)
+    key_params = {"seed": seed, "num_parts": int(num_parts), **params}
+    key_params.update(scalar_attrs(partitioner))
+    key = config_key(name, key_params)
+    use = cache_enabled()
+    store = get_store()
+    fp = graph.fingerprint()
+
+    if use and not bypass:
+        payload = store.load("partition", fp, key)
+        if payload is not None:
+            return _result_from_payload(graph, payload)
+
+    result = partitioner.partition(graph, int(num_parts))
+    if use and not (bypass and store.contains("partition", fp, key)):
+        payload = {
+            "parts": result.assignment.parts,
+            "num_parts": np.int64(result.assignment.num_parts),
+            "segments": np.array(_json_or_empty(result.clock.segments)),
+            "metadata": np.array(_json_or_empty(result.metadata)),
+            "__assignment__": result.assignment,
+        }
+        store.store("partition", fp, key, payload)
+    return result
+
+
+def _result_from_payload(graph: CSRGraph, payload: dict) -> PartitionResult:
+    assignment = payload.get("__assignment__")
+    if assignment is None or assignment.graph is not graph:
+        assignment = PartitionAssignment(
+            graph, np.asarray(payload["parts"]), int(payload["num_parts"])
+        )
+        payload["__assignment__"] = assignment
+    clock = WallClock()
+    for seg, seconds in json.loads(str(payload["segments"][()])).items():
+        clock.add(seg, float(seconds))
+    metadata = json.loads(str(payload["metadata"][()]))
+    if not isinstance(metadata, dict):  # pragma: no cover - defensive
+        metadata = {}
+    metadata["artifact_cache"] = "hit"
+    return PartitionResult(assignment=assignment, clock=clock, metadata=metadata)
+
+
+def get_assignment(
+    graph: CSRGraph, partitioner_name: str, *, num_parts: int = 8, seed: int = 0, **params
+) -> PartitionAssignment:
+    """The assignment-only convenience form of :func:`cached_partition`."""
+    return cached_partition(
+        partitioner_name, graph, num_parts, seed=seed, **params
+    ).assignment
+
+
+def cached_edge_partition(partitioner, graph: CSRGraph, num_parts: int):
+    """Vertex-cut analogue: cache an :class:`EdgePartition`'s edge→part
+    vector (the canonical edge order is a pure function of the graph, so
+    the vector alone rebuilds the partition)."""
+    from repro.partition.vertexcut import EdgePartition, canonical_edges
+
+    key = config_key(
+        f"vertexcut:{getattr(partitioner, 'name', type(partitioner).__name__)}",
+        {"num_parts": int(num_parts), **scalar_attrs(partitioner)},
+    )
+    use = cache_enabled()
+    store = get_store()
+    fp = graph.fingerprint()
+    if use:
+        payload = store.load("vertexcut", fp, key)
+        if payload is not None:
+            part = payload.get("__partition__")
+            if part is None or part.graph is not graph:
+                src, dst = canonical_edges(graph)
+                part = EdgePartition(
+                    graph, src, dst, np.asarray(payload["edge_parts"]), int(num_parts)
+                )
+                payload["__partition__"] = part
+            return part
+    part = partitioner.partition(graph, int(num_parts))
+    if use:
+        store.store(
+            "vertexcut",
+            fp,
+            key,
+            {"edge_parts": part.edge_parts, "__partition__": part},
+        )
+    return part

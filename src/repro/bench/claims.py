@@ -20,7 +20,7 @@ import numpy as np
 from repro.bench.harness import ExperimentConfig
 from repro.bench.workloads import run_app, run_walk_job
 from repro.graph.datasets import load_dataset
-from repro.partition.base import get_partitioner
+from repro.bench.artifacts import get_assignment
 from repro.partition.metrics import bias, edge_cut_ratio, jains_fairness
 
 __all__ = ["Claim", "ClaimResult", "all_claims", "check_claims"]
@@ -51,7 +51,7 @@ class ClaimResult:
 def _partitions(config: ExperimentConfig, dataset: str, k: int):
     g = load_dataset(dataset, scale=config.scale, seed=config.seed)
     return g, {
-        name: get_partitioner(name, seed=config.seed).partition(g, k).assignment
+        name: get_assignment(g, name, num_parts=k, seed=config.seed)
         for name in ("chunk-v", "chunk-e", "fennel", "hash", "bpart")
     }
 
@@ -61,7 +61,7 @@ def _c1_two_dimensional_balance(config):
     for dataset in ("livejournal", "twitter", "friendster"):
         g = load_dataset(dataset, scale=config.scale, seed=config.seed)
         for k in (4, 8, 16):
-            a = get_partitioner("bpart", seed=config.seed).partition(g, k).assignment
+            a = get_assignment(g, "bpart", num_parts=k, seed=config.seed)
             worst = max(worst, bias(a.vertex_counts), bias(a.edge_counts))
     return worst < 0.1, f"worst BPart bias over 9 (graph, k) cells: {worst:.4f} (< 0.1)"
 
@@ -104,7 +104,7 @@ def _c5_fairness_stability(config):
         if k > g.num_vertices or dmax > 0.5 * g.num_edges / k:
             continue
         tested.append(k)
-        a = get_partitioner("bpart", seed=config.seed).partition(g, k).assignment
+        a = get_assignment(g, "bpart", num_parts=k, seed=config.seed)
         worst = min(worst, jains_fairness(a.vertex_counts), jains_fairness(a.edge_counts))
     return worst > 0.99, (
         f"worst BPart fairness over feasible k {tested}: {worst:.4f} (> 0.99)"

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+from repro.bench.artifacts import cached_partition
 from repro.bench.harness import ExperimentConfig
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
-from repro.partition.base import PartitionResult, get_partitioner
+from repro.partition.base import PartitionResult
 
 __all__ = ["DATASET_ORDER", "graph_for", "partition_with"]
 
@@ -19,7 +20,22 @@ def graph_for(config: ExperimentConfig, dataset: str) -> CSRGraph:
 
 
 def partition_with(
-    name: str, graph: CSRGraph, num_parts: int, seed: int = 0, **kwargs
+    name: str,
+    graph: CSRGraph,
+    num_parts: int,
+    seed: int = 0,
+    *,
+    bypass_cache: bool = False,
+    **kwargs,
 ) -> PartitionResult:
-    """Partition ``graph`` with the named algorithm."""
-    return get_partitioner(name, seed=seed, **kwargs).partition(graph, num_parts)
+    """Partition ``graph`` with the named algorithm.
+
+    Routed through the content-addressed artifact cache
+    (:mod:`repro.bench.artifacts`), so every figure reuses the same
+    (dataset × partitioner × seed) assignment instead of recomputing
+    it. Timing-measurement experiments pass ``bypass_cache=True``: they
+    must report a freshly measured wall clock, never a replayed one.
+    """
+    return cached_partition(
+        name, graph, num_parts, seed=seed, bypass=bypass_cache, **kwargs
+    )

@@ -14,10 +14,9 @@ Three sweeps on Twitter at k = 8:
 
 from __future__ import annotations
 
-from repro.bench.experiments._common import graph_for
+from repro.bench.experiments._common import graph_for, partition_with
 from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
 from repro.bench.report import Table
-from repro.partition.bpart import BPartPartitioner
 from repro.partition.metrics import bias, edge_cut_ratio
 
 K = 8
@@ -34,7 +33,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         note="c=1 ~ Fennel-style vertex balance, c=0 pure edge balance; c=1/2 balances both",
     )
     for c in (0.0, 0.25, 0.5, 0.75, 1.0):
-        a = BPartPartitioner(c=c, seed=config.seed).partition(g, K).assignment
+        a = partition_with("bpart", g, K, seed=config.seed, c=c).assignment
         t1.add_row(c, bias(a.vertex_counts), bias(a.edge_counts), edge_cut_ratio(g, a.parts))
         result.data[("c", c)] = (bias(a.vertex_counts), bias(a.edge_counts))
     result.tables.append(t1)
@@ -45,11 +44,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         note="1 round can leave a hub outlier; 2-3 rounds converge (paper §3.3)",
     )
     for rounds in (1, 2, 3):
-        a = (
-            BPartPartitioner(base_rounds=rounds, max_layers=1, seed=config.seed)
-            .partition(g, K)
-            .assignment
-        )
+        a = partition_with(
+            "bpart", g, K, seed=config.seed, base_rounds=rounds, max_layers=1
+        ).assignment
         t2.add_row(
             rounds,
             (2**rounds) * K,
@@ -66,7 +63,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         note="balance holds across stream orders; cut varies with locality of the order",
     )
     for order in ("natural", "random", "bfs", "degree_desc"):
-        a = BPartPartitioner(order=order, seed=config.seed).partition(g, K).assignment
+        a = partition_with("bpart", g, K, seed=config.seed, order=order).assignment
         t3.add_row(order, bias(a.vertex_counts), bias(a.edge_counts), edge_cut_ratio(g, a.parts))
         result.data[("order", order)] = (bias(a.vertex_counts), bias(a.edge_counts))
     result.tables.append(t3)

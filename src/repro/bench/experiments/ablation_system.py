@@ -21,7 +21,6 @@ from repro.bench.harness import ExperimentConfig, ExperimentResult, register_exp
 from repro.bench.report import Table
 from repro.cluster import BSPCluster, CostModel, NetworkModel
 from repro.engines.gemini import GeminiEngine, PageRank
-from repro.partition.base import get_partitioner
 from repro.partition.metrics import bias, edge_cut_ratio
 
 K = 8
@@ -41,7 +40,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     )
     for name in ("fennel", "bpart"):
         for passes in (1, 2, 3):
-            res = get_partitioner(name, seed=config.seed, passes=passes).partition(g, K)
+            res = partition_with(name, g, K, seed=config.seed, passes=passes)
             a = res.assignment
             t1.add_row(name, passes, edge_cut_ratio(g, a.parts), bias(a.edge_counts), res.elapsed)
             result.data[("restream", name, passes)] = edge_cut_ratio(g, a.parts)

@@ -11,11 +11,11 @@ shrinking the graphs preserved them.
 
 from __future__ import annotations
 
+from repro.bench.experiments._common import partition_with
 from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
 from repro.bench.report import Table
 from repro.bench.workloads import run_walk_job
 from repro.graph.datasets import load_dataset
-from repro.partition.base import get_partitioner
 from repro.partition.metrics import bias, edge_cut_ratio
 
 SCALES = (0.25, 0.5, 1.0, 2.0)
@@ -43,7 +43,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     for scale in SCALES:
         g = load_dataset("twitter", scale=scale * config.scale, seed=config.seed)
         assignments = {
-            name: get_partitioner(name, seed=config.seed).partition(g, K).assignment
+            name: partition_with(name, g, K, seed=config.seed).assignment
             for name in ("chunk-v", "fennel", "hash", "bpart")
         }
         waits = {}

@@ -10,6 +10,7 @@ balance, on the same graphs at k = 8.
 
 from __future__ import annotations
 
+from repro.bench.artifacts import cached_edge_partition
 from repro.bench.experiments._common import DATASET_ORDER, graph_for, partition_with
 from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
 from repro.bench.report import Table
@@ -43,7 +44,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     for dataset in DATASET_ORDER:
         g = graph_for(config, dataset)
         for name, algo in vc_algos:
-            p = algo.partition(g, K)
+            p = cached_edge_partition(algo, g, K)
             rf = replication_factor(p)
             table.add_row(dataset, name, "vertex-cut", rf, edge_balance_bias(p), "-")
             result.data[(dataset, name)] = rf

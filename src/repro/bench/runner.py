@@ -1,0 +1,123 @@
+"""Parallel experiment execution over a process pool.
+
+``repro-bench all --jobs N`` fans the independent experiments of the
+registry out over a spawn-safe :class:`~concurrent.futures.ProcessPoolExecutor`.
+The experiments share no mutable state — each worker imports the
+library fresh, loads its datasets, and (crucially) warms from the
+shared on-disk artifact store of :mod:`repro.bench.artifacts`, so the
+expensive (dataset × partitioner × seed) assignments and simulation
+summaries are computed by whichever worker gets there first and read
+by everyone else.
+
+Results are collected and rendered in the caller's deterministic id
+order regardless of completion order, and every outcome carries its
+wall-clock seconds plus the cache hit/miss counters attributed to that
+experiment — the parallel/warm speedup is observable in the run
+summary, not asserted.
+
+The ``spawn`` start method is used unconditionally: it is the only
+start method that is safe with threads and identical across platforms,
+and it guarantees workers see the same import-time registry as the
+parent.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["ExperimentOutcome", "run_suite"]
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's result plus its execution accounting."""
+
+    experiment_id: str
+    result: ExperimentResult | None
+    error: str | None
+    wall_seconds: float
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _diff_counters(before: dict, after: dict) -> dict:
+    """Cache-counter delta attributable to one experiment."""
+    out = {k: after[k] - before.get(k, 0) for k in ("hits", "misses", "stores", "errors")}
+    kinds = {}
+    for kind, counts in after.get("by_kind", {}).items():
+        prev = before.get("by_kind", {}).get(kind, {})
+        delta = {k: v - prev.get(k, 0) for k, v in counts.items()}
+        if any(delta.values()):
+            kinds[kind] = delta
+    out["by_kind"] = kinds
+    return out
+
+
+def _run_one(experiment_id: str, config: ExperimentConfig) -> ExperimentOutcome:
+    """Run one experiment, catching its failure into the outcome.
+
+    Also the worker entry point — must stay module-level picklable.
+    """
+    from repro.bench.artifacts import stats_snapshot
+
+    before = stats_snapshot()
+    start = time.perf_counter()
+    try:
+        result = run_experiment(experiment_id, config)
+        error = None
+    except Exception:
+        result = None
+        error = traceback.format_exc(limit=8)
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        result=result,
+        error=error,
+        wall_seconds=time.perf_counter() - start,
+        cache=_diff_counters(before, stats_snapshot()),
+    )
+
+
+def run_suite(
+    experiment_ids: list[str],
+    config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+) -> list[ExperimentOutcome]:
+    """Run experiments, serially or over ``jobs`` worker processes.
+
+    The returned list is always in ``experiment_ids`` order — parallel
+    completion order never leaks into the output. A worker that dies
+    entirely (not an experiment exception, which is caught in-worker)
+    is reported as a failed outcome for its experiment, not a crash of
+    the whole suite.
+    """
+    config = config if config is not None else ExperimentConfig()
+    if jobs <= 1 or len(experiment_ids) <= 1:
+        return [_run_one(eid, config) for eid in experiment_ids]
+
+    outcomes: dict[str, ExperimentOutcome] = {}
+    ctx = get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(experiment_ids)), mp_context=ctx
+    ) as pool:
+        futures = {eid: pool.submit(_run_one, eid, config) for eid in experiment_ids}
+        for eid, future in futures.items():
+            try:
+                outcomes[eid] = future.result()
+            except Exception as exc:  # worker death / unpicklable result
+                outcomes[eid] = ExperimentOutcome(
+                    experiment_id=eid,
+                    result=None,
+                    error=f"worker failed: {exc!r}",
+                    wall_seconds=0.0,
+                )
+    return [outcomes[eid] for eid in experiment_ids]

@@ -42,6 +42,19 @@ def _bench_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0, help="dataset scale multiplier")
     p.add_argument("--seed", type=int, default=1, help="experiment seed")
     p.add_argument("--json", help="also write all results to this JSON file")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments over N worker processes (spawn-safe; "
+        "workers warm from the shared artifact cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the partition/simulation artifact cache "
+        "(equivalent to REPRO_NO_CACHE=1)",
+    )
     return p
 
 
@@ -93,26 +106,56 @@ def _run_bench(argv: list[str]) -> int:
     ids = args.experiments
     if ids == ["all"]:
         ids = available_experiments()
+    if args.no_cache:
+        # Environment, not a flag threaded through every call site, so
+        # spawn workers inherit the setting too.
+        import os
+
+        os.environ["REPRO_NO_CACHE"] = "1"
+    from repro.bench.runner import run_suite
+
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    start = time.perf_counter()
+    outcomes = run_suite(ids, config, jobs=max(1, args.jobs))
+    total = time.perf_counter() - start
     status = 0
     collected = []
-    for eid in ids:
-        start = time.perf_counter()
-        try:
-            result = run_experiment(eid, config)
-        except Exception as exc:  # surface which experiment failed
-            print(f"experiment {eid} failed: {exc}", file=sys.stderr)
+    for out in outcomes:
+        if not out.ok:
+            print(f"experiment {out.experiment_id} failed:\n{out.error}", file=sys.stderr)
             status = 1
             continue
-        print(result.render())
-        print(f"[{eid} finished in {time.perf_counter() - start:.1f}s]\n")
-        collected.append(result.to_dict())
+        print(out.result.render())
+        cache = out.cache or {}
+        print(
+            f"[{out.experiment_id} finished in {out.wall_seconds:.1f}s — "
+            f"cache {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses]\n"
+        )
+        entry = out.result.to_dict()
+        entry["wall_time_s"] = out.wall_seconds
+        entry["cache"] = cache
+        collected.append(entry)
+    hits = sum(o.cache.get("hits", 0) for o in outcomes if o.cache)
+    misses = sum(o.cache.get("misses", 0) for o in outcomes if o.cache)
+    print(
+        f"[suite: {len(collected)}/{len(outcomes)} experiments in {total:.1f}s "
+        f"(jobs={max(1, args.jobs)}) — cache {hits} hits / {misses} misses]"
+    )
     if args.json:
         import json
 
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(
-                {"scale": args.scale, "seed": args.seed, "results": collected}, fh, indent=1
+                {
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "jobs": max(1, args.jobs),
+                    "suite_wall_time_s": total,
+                    "cache_totals": {"hits": hits, "misses": misses},
+                    "results": collected,
+                },
+                fh,
+                indent=1,
             )
         print(f"results written to {args.json}")
     return status

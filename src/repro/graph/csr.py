@@ -22,6 +22,7 @@ multi-million-arc graph allocates nothing (see the hpc-parallel guide:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 import numpy as np
@@ -56,7 +57,7 @@ class CSRGraph:
         construction; disable for trusted internal callers on hot paths.
     """
 
-    __slots__ = ("_indptr", "_indices", "_directed", "_degrees")
+    __slots__ = ("_indptr", "_indices", "_directed", "_degrees", "_fingerprint")
 
     def __init__(
         self,
@@ -74,6 +75,7 @@ class CSRGraph:
         self._indices = indices
         self._directed = bool(directed)
         self._degrees: np.ndarray | None = None
+        self._fingerprint: str | None = None
         if validate:
             self.validate()
         # Freeze the backing arrays: CSRGraph is shared across partitioners
@@ -146,6 +148,27 @@ class CSRGraph:
         """Average out-degree ``m / n`` (the paper's ``d̄``)."""
         n = self.num_vertices
         return float(self.num_edges) / n if n else 0.0
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the adjacency structure (hex digest).
+
+        Two graphs with equal ``indptr``/``indices`` contents and the
+        same ``directed`` flag share a fingerprint regardless of how or
+        when they were built — the indices dtype is normalised before
+        hashing, so an ``int32`` and an ``int64`` encoding of the same
+        graph hash identically. The digest is the graph half of the
+        artifact-cache key (see :mod:`repro.bench.artifacts`); computed
+        once, then cached on the instance (the arrays are frozen).
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(b"csr-v1:")
+            h.update(b"directed" if self._directed else b"undirected")
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self._indptr.tobytes())
+            h.update(np.ascontiguousarray(self._indices, dtype=np.int64).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Access

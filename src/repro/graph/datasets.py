@@ -34,6 +34,7 @@ __all__ = [
     "DatasetSpec",
     "DATASETS",
     "load_dataset",
+    "clear_dataset_cache",
     "livejournal_like",
     "twitter_like",
     "friendster_like",
@@ -88,6 +89,19 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
+def _normalize_scale(scale: float) -> float:
+    """Canonical float form of ``scale`` for cache keying.
+
+    ``1``, ``1.0`` and ``np.float64(1)`` must all map to the same
+    memoisation key — numpy scalars in particular hash differently from
+    Python floats under ``lru_cache``'s typed key tuple, so everything
+    is collapsed to a plain ``float`` before it reaches the cache.
+    """
+    s = float(scale)
+    check_positive("scale", s)
+    return s
+
+
 @lru_cache(maxsize=16)
 def _cached(name: str, scale: float, seed: int) -> CSRGraph:
     return DATASETS[name].generate(scale, seed)
@@ -97,12 +111,19 @@ def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> CSRGraph:
     """Load a stand-in dataset by name (``livejournal|twitter|friendster``).
 
     Results are memoised per ``(name, scale, seed)`` because the bench
-    harness loads the same graph for many partitioners.
+    harness loads the same graph for many partitioners; ``scale`` and
+    ``seed`` are normalised (``float``/``int``) before keying so ``1``
+    and ``1.0`` share one entry.
     """
     key = name.lower()
     if key not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}")
-    return _cached(key, float(scale), int(seed))
+    return _cached(key, _normalize_scale(scale), int(seed))
+
+
+def clear_dataset_cache() -> None:
+    """Drop all memoised dataset graphs (tests, memory-pressure relief)."""
+    _cached.cache_clear()
 
 
 def livejournal_like(scale: float = 1.0, seed: int = 0) -> CSRGraph:

@@ -10,6 +10,8 @@ the part's vertices, i.e. the arcs each machine stores).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import PartitionError
@@ -21,7 +23,15 @@ __all__ = ["PartitionAssignment"]
 class PartitionAssignment:
     """An immutable vertex → part mapping plus derived statistics."""
 
-    __slots__ = ("_graph", "_parts", "_num_parts", "_vcounts", "_ecounts")
+    __slots__ = (
+        "_graph",
+        "_parts",
+        "_num_parts",
+        "_vcounts",
+        "_ecounts",
+        "_fingerprint",
+        "_derived",
+    )
 
     def __init__(self, graph: CSRGraph, parts: np.ndarray, num_parts: int) -> None:
         parts = np.ascontiguousarray(parts, dtype=np.int32)
@@ -39,6 +49,8 @@ class PartitionAssignment:
         self._num_parts = int(num_parts)
         self._vcounts: np.ndarray | None = None
         self._ecounts: np.ndarray | None = None
+        self._fingerprint: str | None = None
+        self._derived: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +85,35 @@ class PartitionAssignment:
                 self._parts, weights=self._graph.degrees, minlength=self._num_parts
             ).astype(np.int64)
         return self._ecounts
+
+    def fingerprint(self) -> str:
+        """Stable content hash over (graph, parts vector, ``k``).
+
+        The partition half of the simulation-artifact cache key (see
+        :mod:`repro.bench.artifacts`): two assignments of the same graph
+        content with equal part vectors hash identically, however they
+        were produced. Computed once (the arrays are frozen).
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(b"assignment-v1:")
+            h.update(self._graph.fingerprint().encode("ascii"))
+            h.update(np.int64(self._num_parts).tobytes())
+            h.update(np.ascontiguousarray(self._parts, dtype=np.int32).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def derived_cache(self) -> dict:
+        """Mutable scratch dict for engine-side memoised structures.
+
+        Engines derive expensive per-(graph, assignment) structures —
+        Gemini's cut/mirror arrays — that are pure functions of this
+        immutable object, so they live here and survive across runs of
+        different applications on the same partition.
+        """
+        if self._derived is None:
+            self._derived = {}
+        return self._derived
 
     def vertices_of(self, part: int) -> np.ndarray:
         """Vertex ids assigned to ``part``."""

@@ -1,0 +1,321 @@
+"""Tests for the content-addressed artifact cache and parallel runner."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import artifacts
+from repro.bench.artifacts import (
+    ArtifactStore,
+    cached_edge_partition,
+    cached_partition,
+    config_key,
+    get_assignment,
+)
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.runner import ExperimentOutcome, run_suite
+from repro.bench.workloads import PAPER_PARTITIONERS, run_app, run_walk_job
+from repro.graph import chung_lu
+from repro.graph.datasets import clear_dataset_cache, load_dataset
+from repro.partition import get_partitioner
+from repro.partition.vertexcut import DBHPartitioner
+
+TINY = ExperimentConfig(scale=0.05, seed=3)
+K = 4
+
+
+@pytest.fixture
+def graph():
+    return chung_lu(600, 8.0, 2.3, rng=11)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and keys
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        g1 = chung_lu(300, 6.0, 2.3, rng=5)
+        g2 = chung_lu(300, 6.0, 2.3, rng=5)
+        assert g1 is not g2
+        assert g1.fingerprint() == g2.fingerprint()
+
+    def test_distinct_graphs_distinct_fingerprints(self):
+        g1 = chung_lu(300, 6.0, 2.3, rng=5)
+        g2 = chung_lu(300, 6.0, 2.3, rng=6)
+        assert g1.fingerprint() != g2.fingerprint()
+
+    def test_assignment_fingerprint_depends_on_parts(self, graph):
+        a1 = get_partitioner("hash").partition(graph, K).assignment
+        a2 = get_partitioner("chunk-v").partition(graph, K).assignment
+        assert a1.fingerprint() != a2.fingerprint()
+        a3 = get_partitioner("hash").partition(graph, K).assignment
+        assert a1.fingerprint() == a3.fingerprint()
+
+
+class TestConfigKey:
+    def test_int_float_collapse(self):
+        assert config_key("x", {"c": 1}) != config_key("x", {"c": 1.0})
+        assert config_key("x", {"c": 1.0}) == config_key("x", {"c": np.float64(1.0)})
+        assert config_key("x", {"c": 1}) == config_key("x", {"c": np.int64(1)})
+
+    def test_order_insensitive(self):
+        assert config_key("x", {"a": 1, "b": 2}) == config_key("x", {"b": 2, "a": 1})
+
+    def test_version_salt_invalidates(self, monkeypatch):
+        k1 = config_key("x", {"a": 1})
+        monkeypatch.setattr(artifacts, "CACHE_FORMAT_VERSION", 999)
+        assert config_key("x", {"a": 1}) != k1
+
+    def test_unkeyable_param_rejected(self):
+        with pytest.raises(TypeError):
+            config_key("x", {"a": object()})
+
+
+# ----------------------------------------------------------------------
+# Hit/miss accounting and parity
+# ----------------------------------------------------------------------
+class TestCachedPartition:
+    def test_miss_then_hit_accounting(self, graph):
+        cached_partition("bpart", graph, K, seed=1)
+        snap = artifacts.stats_snapshot()
+        assert snap["misses"] == 1 and snap["stores"] == 1 and snap["hits"] == 0
+        cached_partition("bpart", graph, K, seed=1)
+        snap = artifacts.stats_snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+    @pytest.mark.parametrize("name", PAPER_PARTITIONERS)
+    def test_cached_equals_fresh_all_partitioners(self, graph, name):
+        fresh = get_partitioner(name, seed=2).partition(graph, K).assignment
+        first = cached_partition(name, graph, K, seed=2).assignment
+        # Cold pass through the disk: forget the in-process store.
+        artifacts.reset_store()
+        warm = cached_partition(name, graph, K, seed=2)
+        assert np.array_equal(fresh.parts, first.parts)
+        assert np.array_equal(fresh.parts, warm.assignment.parts)
+        assert warm.metadata.get("artifact_cache") == "hit"
+        assert warm.assignment.num_parts == K
+
+    def test_hit_replays_recorded_clock(self, graph):
+        cold = cached_partition("fennel", graph, K, seed=1)
+        artifacts.reset_store()
+        warm = cached_partition("fennel", graph, K, seed=1)
+        assert warm.elapsed == pytest.approx(cold.elapsed)
+
+    def test_param_change_invalidates(self, graph):
+        cached_partition("bpart", graph, K, seed=1)
+        cached_partition("bpart", graph, K, seed=1, c=0.9)
+        snap = artifacts.stats_snapshot()
+        assert snap["misses"] == 2 and snap["hits"] == 0
+        cached_partition("bpart", graph, K, seed=2)
+        assert artifacts.stats_snapshot()["misses"] == 3
+
+    def test_version_salt_invalidates_store(self, graph, monkeypatch):
+        cached_partition("hash", graph, K, seed=1)
+        monkeypatch.setattr(artifacts, "CACHE_FORMAT_VERSION", 999)
+        cached_partition("hash", graph, K, seed=1)
+        snap = artifacts.stats_snapshot()
+        assert snap["misses"] == 2 and snap["hits"] == 0
+
+    def test_corrupted_file_recovers(self, graph):
+        cold = cached_partition("bpart", graph, K, seed=1)
+        store = artifacts.get_store()
+        files = list(store.root.rglob("*.npz"))
+        assert files
+        for path in files:
+            path.write_bytes(b"this is not an npz archive")
+        artifacts.reset_store()  # drop the memory layer: force disk reads
+        recovered = cached_partition("bpart", graph, K, seed=1)
+        snap = artifacts.stats_snapshot()
+        assert snap["errors"] == 1 and snap["misses"] == 1
+        assert np.array_equal(cold.assignment.parts, recovered.assignment.parts)
+        # the poisoned file was replaced by the recomputed artifact
+        artifacts.reset_store()
+        assert cached_partition("bpart", graph, K, seed=1).metadata["artifact_cache"] == "hit"
+
+    def test_no_cache_env_disables(self, graph, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        r1 = cached_partition("bpart", graph, K, seed=1)
+        r2 = cached_partition("bpart", graph, K, seed=1)
+        snap = artifacts.stats_snapshot()
+        assert snap["hits"] == snap["misses"] == snap["stores"] == 0
+        assert not list(artifacts.get_store().root.rglob("*.npz"))
+        assert np.array_equal(r1.assignment.parts, r2.assignment.parts)
+
+    def test_get_assignment_convenience(self, graph):
+        a = get_assignment(graph, "fennel", num_parts=K, seed=1)
+        b = get_assignment(graph, "fennel", num_parts=K, seed=1)
+        assert a is b  # in-process hits share the rehydrated object
+
+    def test_memory_lru_bounded(self, graph):
+        store = ArtifactStore(artifacts.default_cache_dir(), memory_items=2)
+        for i in range(5):
+            store.store("partition", f"fp{i}", "k", {"parts": np.arange(3)})
+        assert len(store._memory) == 2
+
+
+class TestVertexCutArtifacts:
+    def test_cached_edge_partition_roundtrip(self, graph):
+        algo = DBHPartitioner()
+        p1 = cached_edge_partition(algo, graph, K)
+        artifacts.reset_store()
+        p2 = cached_edge_partition(algo, graph, K)
+        assert np.array_equal(p1.edge_parts, p2.edge_parts)
+        snap = artifacts.stats_snapshot()
+        assert snap["by_kind"]["vertexcut"]["hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Simulation artifacts
+# ----------------------------------------------------------------------
+class TestSimulationArtifacts:
+    def test_walk_job_replay(self, graph):
+        a = get_assignment(graph, "bpart", num_parts=K, seed=1)
+        cold = run_walk_job(graph, a, app_name="deepwalk", walkers_per_vertex=2, seed=1)
+        artifacts.reset_store()
+        warm = run_walk_job(graph, a, app_name="deepwalk", walkers_per_vertex=2, seed=1)
+        assert warm.total_steps == cold.total_steps
+        assert warm.total_messages == cold.total_messages
+        assert warm.runtime == pytest.approx(cold.runtime)
+        assert warm.ledger.waiting_ratio == pytest.approx(cold.ledger.waiting_ratio)
+        np.testing.assert_array_equal(warm.final_positions, cold.final_positions)
+        assert artifacts.stats_snapshot()["by_kind"]["walk"]["hits"] == 1
+
+    def test_apprun_replay(self, graph):
+        a = get_assignment(graph, "bpart", num_parts=K, seed=1)
+        cold = run_app("pagerank", graph, a, seed=1)
+        artifacts.reset_store()
+        warm = run_app("pagerank", graph, a, seed=1)
+        assert warm == cold
+        assert artifacts.stats_snapshot()["by_kind"]["apprun"]["hits"] == 1
+
+    def test_different_app_misses(self, graph):
+        a = get_assignment(graph, "hash", num_parts=K, seed=1)
+        run_app("pagerank", graph, a, seed=1)
+        run_app("cc", graph, a, seed=1)
+        assert artifacts.stats_snapshot()["by_kind"]["apprun"]["hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Bypass: timing experiments never read the cache
+# ----------------------------------------------------------------------
+def _poison_partition_clocks(sentinel: float) -> None:
+    """Overwrite every stored partition clock with a sentinel value."""
+    store = artifacts.get_store()
+    for (kind, _fp, _key), payload in store._memory.items():
+        if kind == "partition":
+            payload["segments"] = np.array(json.dumps({"total": sentinel}))
+
+
+class TestBypass:
+    SENTINEL = 12345.0
+
+    def test_bypass_never_reads(self, graph):
+        cached_partition("bpart", graph, K, seed=1)
+        _poison_partition_clocks(self.SENTINEL)
+        # non-bypass replays the poisoned clock — proves the poison works
+        assert cached_partition("bpart", graph, K, seed=1).elapsed == self.SENTINEL
+        # bypass measures fresh, ignoring the poisoned artifact...
+        fresh = cached_partition("bpart", graph, K, seed=1, bypass=True)
+        assert fresh.elapsed != self.SENTINEL
+        assert "artifact_cache" not in fresh.metadata
+        # ...and leaves the existing artifact untouched: the clock other
+        # runs replay must be stable, not the latest timing measurement
+        assert cached_partition("bpart", graph, K, seed=1).elapsed == self.SENTINEL
+
+    def test_bypass_warms_a_cold_cache(self, graph):
+        fresh = cached_partition("bpart", graph, K, seed=1, bypass=True)
+        assert artifacts.stats_snapshot()["stores"] == 1
+        warm = cached_partition("bpart", graph, K, seed=1)
+        assert warm.metadata.get("artifact_cache") == "hit"
+        assert np.array_equal(fresh.assignment.parts, warm.assignment.parts)
+
+    def test_table2_is_cache_independent(self):
+        """table2's reported seconds must come from real runs even when
+        the cache holds poisoned clocks for every one of its cells."""
+        from repro.bench.experiments.table2_overhead import ALGOS, K as T2K
+        from repro.bench.experiments._common import DATASET_ORDER, graph_for
+
+        for dataset in DATASET_ORDER:
+            g = graph_for(TINY, dataset)
+            for name in ALGOS:
+                cached_partition(name, g, T2K, seed=TINY.seed)
+        _poison_partition_clocks(self.SENTINEL)
+        result = run_experiment("table2", TINY)
+        for per_dataset in result.data.values():
+            for seconds in per_dataset.values():
+                assert seconds != self.SENTINEL
+
+
+# ----------------------------------------------------------------------
+# Parallel runner
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_serial_outcomes_in_order(self):
+        outcomes = run_suite(["fig06", "fig03"], TINY, jobs=1)
+        assert [o.experiment_id for o in outcomes] == ["fig06", "fig03"]
+        assert all(o.ok for o in outcomes)
+        assert all(o.wall_seconds > 0 for o in outcomes)
+
+    def test_experiment_failure_is_an_outcome(self):
+        outcomes = run_suite(["no-such-experiment"], TINY)
+        assert len(outcomes) == 1
+        assert not outcomes[0].ok
+        assert outcomes[0].result is None
+        assert "no-such-experiment" in outcomes[0].error
+
+    def test_cache_counters_attributed_per_experiment(self, graph):
+        cached_partition("bpart", graph, K, seed=1)  # unrelated earlier traffic
+        outcomes = run_suite(["fig03"], TINY)
+        cache = outcomes[0].cache
+        assert cache["misses"] >= 1  # fig03's own work, not the pre-run traffic
+        assert set(cache) == {"hits", "misses", "stores", "errors", "by_kind"}
+
+    def test_parallel_matches_serial(self):
+        serial = run_suite(["fig03", "fig06"], TINY, jobs=1)
+        parallel = run_suite(["fig03", "fig06"], TINY, jobs=2)
+        assert [o.experiment_id for o in parallel] == ["fig03", "fig06"]
+        for s, p in zip(serial, parallel):
+            assert p.ok, p.error
+            assert s.result.to_dict() == p.result.to_dict()
+
+    def test_outcome_ok_property(self):
+        good = ExperimentOutcome("x", result=None, error=None, wall_seconds=0.1)
+        bad = ExperimentOutcome("x", result=None, error="boom", wall_seconds=0.1)
+        assert good.ok and not bad.ok
+
+
+# ----------------------------------------------------------------------
+# Satellites: dataset-cache key normalisation, engine memoisation
+# ----------------------------------------------------------------------
+class TestDatasetCache:
+    def test_scale_normalised_before_cache_key(self):
+        g1 = load_dataset("twitter", scale=0.05, seed=1)
+        g2 = load_dataset("twitter", scale=np.float64(0.05), seed=np.int64(1))
+        assert g1 is g2
+
+    def test_clear_dataset_cache(self):
+        g1 = load_dataset("twitter", scale=0.05, seed=1)
+        clear_dataset_cache()
+        g2 = load_dataset("twitter", scale=0.05, seed=1)
+        assert g1 is not g2
+        assert g1.fingerprint() == g2.fingerprint()
+
+
+class TestGeminiMemoisation:
+    def test_derived_structures_cached_on_assignment(self, graph):
+        from repro.cluster import BSPCluster
+        from repro.engines.gemini import GeminiEngine, PageRank
+
+        a = get_partitioner("bpart", seed=1).partition(graph, K).assignment
+        assert a.derived_cache() == {}
+        engine = GeminiEngine(BSPCluster(K))
+        r1 = engine.run(graph, a, PageRank(5))
+        assert "gemini" in a.derived_cache()
+        structs = a.derived_cache()["gemini"]
+        r2 = engine.run(graph, a, PageRank(5))
+        assert a.derived_cache()["gemini"] is structs  # reused, not rebuilt
+        assert r2.runtime == pytest.approx(r1.runtime)
+        assert r2.total_messages == r1.total_messages

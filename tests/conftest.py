@@ -17,6 +17,21 @@ from repro.graph import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_artifact_cache(tmp_path, monkeypatch):
+    """Keep the artifact store out of ~/.cache during tests.
+
+    Every test gets a private cache dir and a fresh store, so cached
+    partitions never leak between tests (or into the user's real cache).
+    """
+    from repro.bench import artifacts
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+    artifacts.reset_store()
+    yield
+    artifacts.reset_store()
+
+
 @pytest.fixture
 def triangle():
     """K3: the smallest graph with a cycle."""

@@ -12,6 +12,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig08_weighted,
     fig10_bias,
     fig11_fairness,
+    fault_recovery,
     fig12_iteration_times,
     fig13_waiting,
     fig14_apps,

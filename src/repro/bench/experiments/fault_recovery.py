@@ -1,0 +1,159 @@
+"""Fault recovery — crash/straggler tolerance across partitioners.
+
+Extends the paper's balance argument to a failing cluster: when machine
+1 crashes mid-walk and its subgraph must be restored and replayed, the
+recovery superstep lasts as long as its most loaded participant — so a
+two-dimensionally balanced partition pays less for recovery exactly as
+it pays less at every ordinary barrier (Figure 13's mechanism). The
+``redistribute`` strategy additionally re-spreads the lost subgraph via
+BPart's combining logic, so post-recovery survivor balance reflects the
+*input* partition's 2-D balance.
+
+Standard plan (seeded, deterministic): machine 1 crashes at superstep
+2, machine 0 runs 3x slow for supersteps 0-1, checkpoints every 2
+supersteps. Compared on a 5|V| x 4-step DeepWalk job at 8 machines:
+
+- baseline (no faults) vs ``restart`` vs ``redistribute`` runtimes per
+  partitioner per dataset;
+- survivor vertex/edge balance after ``redistribute``;
+- a checkpoint-interval sweep (k = 0 / 1 / 2 / 4) trading checkpoint
+  I/O against replay time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.experiments._common import graph_for, partition_with
+from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
+from repro.bench.report import BarChart, Table
+from repro.bench.workloads import PAPER_PARTITIONERS, run_fault_walk_job, run_walk_job
+from repro.cluster.faults import (
+    CheckpointCostModel,
+    CheckpointPolicy,
+    Crash,
+    FaultPlan,
+    Straggler,
+)
+
+DATASETS = ("livejournal", "twitter")
+MACHINES = 8
+CHECKPOINT_SWEEP = (0, 1, 2, 4)
+
+#: slow stable storage and negligible fixed cost, so checkpoint and
+#: restore time is dominated by per-machine state — the partition's
+#: 2-D balance — rather than a flat fsync constant.
+CHECKPOINT_COST = CheckpointCostModel(write_bandwidth=1e8, fixed_seconds=1e-5)
+
+#: the standard fault schedule every cell of the comparison runs.
+STANDARD_PLAN = FaultPlan(
+    crashes=(Crash(machine=1, superstep=2),),
+    stragglers=(Straggler(machine=0, start=0, duration=2, factor=3.0),),
+    checkpoint=CheckpointPolicy(interval=2),
+    recovery="redistribute",
+    seed=7,
+)
+
+
+def _walk(config: ExperimentConfig, graph, assignment):
+    return run_walk_job(
+        graph, assignment, app_name="deepwalk", walkers_per_vertex=5, seed=config.seed
+    )
+
+
+def _fault_walk(config: ExperimentConfig, graph, assignment, plan):
+    return run_fault_walk_job(
+        graph,
+        assignment,
+        plan,
+        app_name="deepwalk",
+        walkers_per_vertex=5,
+        seed=config.seed,
+        checkpoint_cost=CHECKPOINT_COST,
+    )
+
+
+@register_experiment("faults", "Crash recovery and checkpointing across partitioners")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    result = ExperimentResult(
+        "faults", "Crash recovery and checkpointing across partitioners"
+    )
+    for dataset in DATASETS:
+        g = graph_for(config, dataset)
+        table = Table(
+            f"{dataset}: DeepWalk under crash+straggler (8 machines, interval-2 checkpoints)",
+            [
+                "algorithm",
+                "baseline_s",
+                "restart_s",
+                "redist_s",
+                "redist_overhead",
+                "recovery_s",
+                "surv_edge_dev",
+                "degraded_wait",
+            ],
+            note="balanced partitions recover cheaper; redistribute keeps survivors balanced",
+        )
+        for name in PAPER_PARTITIONERS:
+            a = partition_with(name, g, MACHINES, seed=config.seed).assignment
+            baseline = _walk(config, g, a)
+            restart_res, restart_rep = _fault_walk(
+                config, g, a, STANDARD_PLAN.with_recovery("restart")
+            )
+            redist_res, redist_rep = _fault_walk(config, g, a, STANDARD_PLAN)
+            base_rt = baseline.runtime
+            overhead = redist_res.runtime / base_rt if base_rt else float("inf")
+            table.add_row(
+                name,
+                base_rt,
+                restart_res.runtime,
+                redist_res.runtime,
+                overhead,
+                redist_rep.recovery_seconds,
+                redist_rep.survivor_edge_max_dev,
+                redist_rep.degraded_waiting_ratio,
+            )
+            result.data[(dataset, name, "baseline_runtime")] = base_rt
+            result.data[(dataset, name, "restart_runtime")] = restart_res.runtime
+            result.data[(dataset, name, "redistribute_runtime")] = redist_res.runtime
+            result.data[(dataset, name, "recovery_seconds")] = redist_rep.recovery_seconds
+            result.data[(dataset, name, "checkpoint_seconds")] = redist_rep.checkpoint_seconds
+            result.data[(dataset, name, "survivor_vertex_max_dev")] = (
+                redist_rep.survivor_vertex_max_dev
+            )
+            result.data[(dataset, name, "survivor_edge_max_dev")] = (
+                redist_rep.survivor_edge_max_dev
+            )
+            result.data[(dataset, name, "degraded_waiting_ratio")] = (
+                redist_rep.degraded_waiting_ratio
+            )
+        result.tables.append(table)
+
+    chart = BarChart(
+        "twitter: recovery superstep cost (redistribute)",
+        note="the 2-D balanced partition loses the least state on any one machine",
+    )
+    for name in PAPER_PARTITIONERS:
+        chart.add(name, result.data[("twitter", name, "recovery_seconds")])
+    result.charts.append(chart)
+
+    # Checkpoint-interval sweep: frequent checkpoints cost barrier I/O
+    # every k supersteps but bound the replay a crash must redo.
+    g = graph_for(config, "twitter")
+    a = partition_with("bpart", g, MACHINES, seed=config.seed).assignment
+    sweep = Table(
+        "twitter/bpart: checkpoint interval sweep (redistribute recovery)",
+        ["interval", "runtime_s", "checkpoint_s", "recovery_s", "replay_s"],
+        note="interval 0 = no checkpoints: zero I/O, maximal replay on crash",
+    )
+    for k in CHECKPOINT_SWEEP:
+        plan = dataclasses.replace(STANDARD_PLAN, checkpoint=CheckpointPolicy(interval=k))
+        res, rep = _fault_walk(config, g, a, plan)
+        replay = sum(c["replay_seconds"] for c in rep.crashes)
+        sweep.add_row(k, res.runtime, rep.checkpoint_seconds, rep.recovery_seconds, replay)
+        result.data[("sweep", k, "runtime")] = res.runtime
+        result.data[("sweep", k, "checkpoint_seconds")] = rep.checkpoint_seconds
+        result.data[("sweep", k, "recovery_seconds")] = rep.recovery_seconds
+        result.data[("sweep", k, "replay_seconds")] = replay
+    result.tables.append(sweep)
+    return result

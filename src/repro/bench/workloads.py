@@ -11,6 +11,7 @@ Centralising the settings here keeps every experiment comparable:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable
 
@@ -18,6 +19,7 @@ import numpy as np
 
 from repro.bench import artifacts
 from repro.cluster import BSPCluster
+from repro.cluster.faults import CheckpointCostModel, FaultAwareCluster, FaultPlan, FaultReport
 from repro.cluster.ledger import TimingLedger
 from repro.engines.gemini import ConnectedComponents, GeminiEngine, PageRank
 from repro.engines.knightking import PPR, RWD, RWJ, DeepWalk, Node2Vec, WalkEngine
@@ -35,6 +37,7 @@ __all__ = [
     "make_partitioners",
     "run_app",
     "run_walk_job",
+    "run_fault_walk_job",
 ]
 
 #: the four baselines + BPart, in the paper's presentation order.
@@ -164,6 +167,105 @@ def _walk_result_from_payload(payload: dict, num_machines: int) -> WalkResult:
     )
     payload["__result__"] = result
     return result
+
+
+def run_fault_walk_job(
+    graph: CSRGraph,
+    assignment: PartitionAssignment,
+    plan: FaultPlan,
+    *,
+    app_name: str = "deepwalk",
+    walkers_per_vertex: int = 5,
+    max_steps: int | None = None,
+    seed: int = 0,
+    mode: str = "step_sync",
+    checkpoint_cost: CheckpointCostModel | None = None,
+) -> tuple[WalkResult, FaultReport]:
+    """Run one walk job under a fault plan; returns (result, report).
+
+    Same cache discipline as :func:`run_walk_job`, under the separate
+    ``faultwalk`` kind: the canonical dict of the :class:`FaultPlan`
+    (and the checkpoint cost model's knobs) is folded into the config
+    digest, so two runs differing only in the injected faults are
+    distinct artifacts. The replayed payload reconstructs the full
+    extended ledger (events and active masks included) from its
+    canonical JSON, so cached and fresh runs are byte-identical.
+    """
+    app, default_steps = _walk_app(app_name)
+    steps = max_steps if max_steps is not None else default_steps
+    ckpt = checkpoint_cost if checkpoint_cost is not None else CheckpointCostModel()
+    key = artifacts.config_key(
+        f"faultwalk:{app_name}",
+        {
+            "walkers_per_vertex": int(walkers_per_vertex),
+            "max_steps": int(steps),
+            "seed": int(seed),
+            "mode": mode,
+            "app": artifacts.scalar_attrs(app),
+            "plan": plan.to_dict(),
+            "checkpoint_cost": artifacts.scalar_attrs(ckpt),
+        },
+    )
+    store = artifacts.get_store()
+    use = artifacts.cache_enabled()
+    fp = assignment.fingerprint()
+    if use:
+        payload = store.load("faultwalk", fp, key)
+        if payload is not None:
+            return _fault_walk_from_payload(payload)
+
+    cluster = FaultAwareCluster(
+        assignment.num_parts,
+        plan,
+        graph=graph,
+        assignment=assignment,
+        checkpoint_cost=ckpt,
+    )
+    engine = WalkEngine(cluster, seed=seed, mode=mode)
+    result = engine.run(
+        graph,
+        assignment,
+        app,
+        walkers_per_vertex=walkers_per_vertex,
+        max_steps=steps,
+    )
+    report = cluster.report()
+    if use:
+        store.store(
+            "faultwalk",
+            fp,
+            key,
+            {
+                "ledger_json": np.array(result.ledger.to_json()),
+                "report_json": np.array(json.dumps(report.as_dict(), sort_keys=True)),
+                "total_steps": np.int64(result.total_steps),
+                "total_messages": np.int64(result.total_messages),
+                "steps_matrix": result.steps_matrix,
+                "final_positions": result.final_positions,
+                "__result__": result,
+                "__report__": report,
+            },
+        )
+    return result, report
+
+
+def _fault_walk_from_payload(payload: dict) -> tuple[WalkResult, FaultReport]:
+    result = payload.get("__result__")
+    report = payload.get("__report__")
+    if result is not None and report is not None:
+        return result, report
+    ledger = TimingLedger.from_json(str(payload["ledger_json"][()]))
+    result = WalkResult(
+        ledger=ledger,
+        total_steps=int(payload["total_steps"]),
+        total_messages=int(payload["total_messages"]),
+        steps_matrix=np.asarray(payload["steps_matrix"]),
+        final_positions=np.asarray(payload["final_positions"]),
+    )
+    report = FaultReport.from_dict(json.loads(str(payload["report_json"][()])))
+    payload["__result__"] = result
+    payload["__report__"] = report
+    return result, report
 
 
 def run_app(

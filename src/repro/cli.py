@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro`` / ``repro-bench``.
 
-Three subcommands (``bench`` is implied when the first argument is an
+Subcommands (``bench`` is implied when the first argument is an
 experiment id)::
 
     repro-bench --list                      # list experiments
@@ -10,6 +10,9 @@ experiment id)::
     repro-bench partition --dataset twitter --algo bpart --parts 8 \\
                 --out parts.npy             # partition a graph to a file
     repro-bench partition --graph edges.txt --algo fennel --parts 4
+    repro-bench faults --scale 0.5          # fault-recovery experiment
+    repro-bench trace --dataset twitter --algo bpart \\
+                --plan plan.json --out trace.json   # Chrome-tracing timeline
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.bench.harness import (
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("bench", "partition", "info", "validate")
+_SUBCOMMANDS = ("bench", "partition", "info", "validate", "faults", "trace")
 
 
 def _bench_parser() -> argparse.ArgumentParser:
@@ -234,6 +237,122 @@ def _run_validate(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+def _trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench trace",
+        description="Run one job and export its BSP schedule as a Chrome-tracing "
+        "timeline (chrome://tracing / Perfetto). With --plan, faults render as "
+        "instant markers on the crashed/straggling machine's track.",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=["livejournal", "twitter", "friendster"])
+    src.add_argument("--graph", help="path to an edge-list file")
+    p.add_argument("--algo", default="bpart", help="partitioner name (see registry)")
+    p.add_argument(
+        "--app",
+        default="deepwalk",
+        help="application to trace (walk apps, 'pagerank', or 'cc')",
+    )
+    p.add_argument("--parts", type=int, default=8)
+    p.add_argument("--scale", type=float, default=1.0, help="dataset scale (datasets only)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--walkers", type=int, default=5, help="walkers per vertex (walk apps)")
+    p.add_argument(
+        "--plan",
+        help="fault plan: path to a FaultPlan JSON file, or an inline JSON string",
+    )
+    p.add_argument("--out", default="trace.json", help="output trace file")
+    return p
+
+
+def _run_trace(argv: list[str]) -> int:
+    from repro.bench.artifacts import get_assignment
+    from repro.bench.workloads import (
+        ITERATION_APPS,
+        WALK_APPS,
+        run_fault_walk_job,
+        run_walk_job,
+    )
+    from repro.cluster.trace import write_chrome_trace
+    from repro.graph import load_dataset, read_edge_list, summarize
+
+    args = _trace_parser().parse_args(argv)
+    if args.app not in WALK_APPS + ITERATION_APPS:
+        print(
+            f"unknown app {args.app!r}; choose from {', '.join(WALK_APPS + ITERATION_APPS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset:
+        g = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        job = f"{args.dataset}-{args.algo}-{args.app}"
+    else:
+        g = read_edge_list(args.graph)
+        job = f"graph-{args.algo}-{args.app}"
+    print(f"graph: {summarize(g)}")
+    plan = None
+    if args.plan:
+        import os
+
+        from repro.cluster.faults import FaultPlan
+
+        text = args.plan
+        if os.path.exists(text):
+            with open(text, encoding="utf-8") as fh:
+                text = fh.read()
+        plan = FaultPlan.from_json(text)
+        plan.validate_for(args.parts)
+    assignment = get_assignment(g, args.algo, num_parts=args.parts, seed=args.seed)
+
+    if args.app in WALK_APPS:
+        if plan is None:
+            result = run_walk_job(
+                g,
+                assignment,
+                app_name=args.app,
+                walkers_per_vertex=args.walkers,
+                seed=args.seed,
+            )
+            ledger = result.ledger
+        else:
+            result, report = run_fault_walk_job(
+                g,
+                assignment,
+                plan,
+                app_name=args.app,
+                walkers_per_vertex=args.walkers,
+                seed=args.seed,
+            )
+            ledger = result.ledger
+            print(
+                f"faults: {len(report.crashes)} crash(es), "
+                f"recovery {report.recovery_seconds:.4f}s, "
+                f"checkpoints {report.num_checkpoints} "
+                f"({report.checkpoint_seconds:.4f}s)"
+            )
+    else:
+        from repro.cluster import BSPCluster
+        from repro.cluster.faults import FaultAwareCluster
+        from repro.engines.gemini import ConnectedComponents, GeminiEngine, PageRank
+
+        program = PageRank(iterations=10) if args.app == "pagerank" else ConnectedComponents()
+        if plan is None:
+            cluster = BSPCluster(args.parts)
+        else:
+            cluster = FaultAwareCluster(
+                args.parts, plan, graph=g, assignment=assignment
+            )
+        result = GeminiEngine(cluster).run(g, assignment, program)
+        ledger = result.ledger
+    write_chrome_trace(ledger, args.out, job_name=job)
+    print(
+        f"{ledger.num_iterations} supersteps, {len(ledger.events)} event markers, "
+        f"runtime {ledger.total_runtime:.4f}s, waiting ratio {ledger.waiting_ratio:.3f}"
+    )
+    print(f"trace written to {args.out} (open in chrome://tracing or Perfetto)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -247,6 +366,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_info(rest)
     if cmd == "validate":
         return _run_validate(rest)
+    if cmd == "trace":
+        return _run_trace(rest)
+    if cmd == "faults":
+        # Shorthand for the fault-recovery experiment: ``repro-bench
+        # faults --scale 0.5`` == ``repro-bench bench faults --scale 0.5``.
+        return _run_bench(["faults", *rest])
     return _run_bench(rest)
 
 

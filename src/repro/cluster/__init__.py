@@ -16,11 +16,17 @@ functions of the BSP schedule, which this package reproduces exactly:
 - :class:`~repro.cluster.bsp.BSPCluster` — ties them together; engines
   submit per-superstep work and traffic, the cluster derives the
   schedule.
+- :mod:`~repro.cluster.faults` — deterministic fault injection on top:
+  :class:`~repro.cluster.faults.FaultAwareCluster` executes a
+  :class:`~repro.cluster.faults.FaultPlan` (crashes, stragglers,
+  degraded links, checkpoints) while driving the same engines
+  unmodified.
 """
 
 from repro.cluster.bsp import BSPCluster
 from repro.cluster.cost import CostModel
-from repro.cluster.ledger import IterationTiming, TimingLedger
+from repro.cluster.faults import FaultAwareCluster, FaultPlan
+from repro.cluster.ledger import IterationTiming, LedgerEvent, TimingLedger
 from repro.cluster.messages import TrafficMatrix
 from repro.cluster.network import NetworkModel
 from repro.cluster.trace import to_chrome_trace, write_chrome_trace
@@ -28,9 +34,12 @@ from repro.cluster.trace import to_chrome_trace, write_chrome_trace
 __all__ = [
     "BSPCluster",
     "CostModel",
+    "FaultAwareCluster",
+    "FaultPlan",
     "NetworkModel",
     "TimingLedger",
     "IterationTiming",
+    "LedgerEvent",
     "TrafficMatrix",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -1,0 +1,74 @@
+"""Checkpoint/restore cost model.
+
+A checkpoint writes every machine's job state to stable storage; a
+recovery reads it back. State size per machine is modelled from the
+quantities the whole paper revolves around — hosted vertices ``|V_i|``
+and hosted arcs ``|E_i|`` — so checkpoint *cost itself* depends on the
+partition's two-dimensional balance: under BSP the checkpoint barrier
+lasts as long as the machine with the most state, exactly the
+straggler-machine effect (Figure 13) transplanted to the I/O dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["CheckpointCostModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointCostModel:
+    """Seconds to checkpoint / restore per-machine state.
+
+    Attributes
+    ----------
+    bytes_per_vertex:  serialised state per hosted vertex (values,
+                       frontier bits, walker bookkeeping).
+    bytes_per_edge:    serialised state per hosted arc (adjacency is
+                       re-loadable, but edge state/buffers are not).
+    write_bandwidth:   bytes/second to stable storage on checkpoint.
+    read_bandwidth:    bytes/second from stable storage on restore
+                       (``None`` = same as ``write_bandwidth``).
+    fixed_seconds:     per-event fixed cost (fsync, manifest, rendezvous).
+    """
+
+    bytes_per_vertex: float = 16.0
+    bytes_per_edge: float = 8.0
+    write_bandwidth: float = 1e9
+    read_bandwidth: float | None = None
+    fixed_seconds: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_nonnegative("bytes_per_vertex", self.bytes_per_vertex)
+        check_nonnegative("bytes_per_edge", self.bytes_per_edge)
+        check_positive("write_bandwidth", self.write_bandwidth)
+        if self.read_bandwidth is not None:
+            check_positive("read_bandwidth", self.read_bandwidth)
+        check_nonnegative("fixed_seconds", self.fixed_seconds)
+
+    # ------------------------------------------------------------------
+    def state_bytes(
+        self, vertices: np.ndarray | float, edges: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Serialised state size from hosted ``|V_i|`` / ``|E_i|``."""
+        return (
+            np.asarray(vertices, dtype=np.float64) * self.bytes_per_vertex
+            + np.asarray(edges, dtype=np.float64) * self.bytes_per_edge
+        )
+
+    def checkpoint_seconds(
+        self, vertices: np.ndarray | float, edges: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Per-machine seconds to write one checkpoint."""
+        return self.state_bytes(vertices, edges) / self.write_bandwidth + self.fixed_seconds
+
+    def restore_seconds(
+        self, vertices: np.ndarray | float, edges: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Per-machine seconds to read state back during recovery."""
+        bw = self.read_bandwidth if self.read_bandwidth is not None else self.write_bandwidth
+        return self.state_bytes(vertices, edges) / bw + self.fixed_seconds

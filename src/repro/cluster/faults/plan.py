@@ -1,0 +1,329 @@
+"""FaultPlan DSL — a declarative, deterministic description of faults.
+
+A :class:`FaultPlan` lists *what goes wrong and when* during one BSP
+job, in engine-superstep coordinates:
+
+- :class:`Crash` — machine ``machine`` fails during superstep
+  ``superstep`` (its work that superstep is lost and must be recovered);
+- :class:`Straggler` — a transient slowdown: machine ``machine``'s
+  compute is multiplied by ``factor`` for supersteps
+  ``[start, start + duration)``;
+- :class:`DegradedLink` — the directed link ``src → dst`` runs at
+  ``bandwidth_scale`` of nominal bandwidth (and ``latency_scale`` of
+  nominal latency) for a superstep window;
+- :class:`CheckpointPolicy` — checkpoint every ``interval`` supersteps
+  (0 = never); the *cost* of each checkpoint is derived from per-machine
+  state size by :class:`~repro.cluster.faults.checkpoint.CheckpointCostModel`.
+
+Plans are plain frozen dataclasses with a canonical JSON form
+(:meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`) and a stable
+:meth:`FaultPlan.digest` that the artifact cache folds into experiment
+keys — a cached fault-free run can never be replayed for a faulty
+config. :meth:`FaultPlan.sample` draws a random-but-reproducible plan
+from a seed via :func:`repro.utils.rng.derive_rng`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "Crash",
+    "Straggler",
+    "DegradedLink",
+    "CheckpointPolicy",
+    "FaultPlan",
+    "RECOVERY_STRATEGIES",
+]
+
+#: recognised recovery strategies (see :mod:`repro.cluster.faults.recovery`).
+RECOVERY_STRATEGIES = ("restart", "redistribute")
+
+PLAN_JSON_FORMAT = "fault-plan/v1"
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Machine ``machine`` fails during engine superstep ``superstep``."""
+
+    machine: int
+    superstep: int
+
+    def to_dict(self) -> dict:
+        return {"machine": int(self.machine), "superstep": int(self.superstep)}
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Transient compute slowdown over a superstep window.
+
+    ``factor`` multiplies the machine's compute seconds for supersteps
+    ``start <= t < start + duration`` (2.0 = twice as slow).
+    """
+
+    machine: int
+    start: int
+    duration: int = 1
+    factor: float = 2.0
+
+    def active_at(self, superstep: int) -> bool:
+        return self.start <= superstep < self.start + self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": int(self.machine),
+            "start": int(self.start),
+            "duration": int(self.duration),
+            "factor": float(self.factor),
+        }
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """Directed link ``src → dst`` degraded over a superstep window.
+
+    ``duration=None`` means "until the end of the run". Bandwidth on the
+    link is scaled by ``bandwidth_scale`` (< 1 = slower); the barrier
+    latency paid by the two endpoints is scaled by ``latency_scale``.
+    """
+
+    src: int
+    dst: int
+    start: int = 0
+    duration: int | None = None
+    bandwidth_scale: float = 0.5
+    latency_scale: float = 1.0
+
+    def active_at(self, superstep: int) -> bool:
+        if superstep < self.start:
+            return False
+        return self.duration is None or superstep < self.start + self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "src": int(self.src),
+            "dst": int(self.dst),
+            "start": int(self.start),
+            "duration": None if self.duration is None else int(self.duration),
+            "bandwidth_scale": float(self.bandwidth_scale),
+            "latency_scale": float(self.latency_scale),
+        }
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Checkpoint cadence: every ``interval`` supersteps (0 = never)."""
+
+    interval: int = 0
+
+    def due_after(self, superstep: int) -> bool:
+        """Whether a checkpoint follows engine superstep ``superstep``."""
+        return self.interval > 0 and (superstep + 1) % self.interval == 0
+
+    def to_dict(self) -> dict:
+        return {"interval": int(self.interval)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one run (empty by default)."""
+
+    crashes: tuple[Crash, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    degraded_links: tuple[DegradedLink, ...] = ()
+    checkpoint: CheckpointPolicy = field(default_factory=CheckpointPolicy)
+    recovery: str = "redistribute"
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.recovery not in RECOVERY_STRATEGIES:
+            raise ConfigurationError(
+                f"recovery must be one of {RECOVERY_STRATEGIES}, got {self.recovery!r}"
+            )
+        if self.checkpoint.interval < 0:
+            raise ConfigurationError("checkpoint interval must be >= 0")
+        for c in self.crashes:
+            if c.superstep < 0:
+                raise ConfigurationError(f"crash superstep must be >= 0, got {c.superstep}")
+        seen = set()
+        for c in self.crashes:
+            if c.machine in seen:
+                raise ConfigurationError(f"machine {c.machine} crashes more than once")
+            seen.add(c.machine)
+        for s in self.stragglers:
+            if s.duration <= 0:
+                raise ConfigurationError("straggler duration must be positive")
+            if s.factor <= 0:
+                raise ConfigurationError("straggler factor must be positive")
+        for l in self.degraded_links:
+            if l.bandwidth_scale <= 0 or l.latency_scale <= 0:
+                raise ConfigurationError("link scales must be positive")
+            if l.src == l.dst:
+                raise ConfigurationError("degraded link endpoints must differ")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_zero_fault(self) -> bool:
+        """True when the plan perturbs nothing (no events, no checkpoints)."""
+        return (
+            not self.crashes
+            and not self.stragglers
+            and not self.degraded_links
+            and self.checkpoint.interval == 0
+        )
+
+    @property
+    def needs_state(self) -> bool:
+        """Whether simulating this plan requires per-machine state sizes
+        (crashes or checkpoints ⇒ a graph + assignment must be bound)."""
+        return bool(self.crashes) or self.checkpoint.interval > 0
+
+    def validate_for(self, num_machines: int) -> None:
+        """Check every referenced machine id against the cluster size."""
+        for c in self.crashes:
+            if not 0 <= c.machine < num_machines:
+                raise ConfigurationError(f"crash machine {c.machine} outside cluster")
+        if len(self.crashes) >= num_machines:
+            raise ConfigurationError("plan crashes every machine; no survivors")
+        for s in self.stragglers:
+            if not 0 <= s.machine < num_machines:
+                raise ConfigurationError(f"straggler machine {s.machine} outside cluster")
+        for l in self.degraded_links:
+            if not (0 <= l.src < num_machines and 0 <= l.dst < num_machines):
+                raise ConfigurationError(f"degraded link ({l.src},{l.dst}) outside cluster")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": PLAN_JSON_FORMAT,
+            "crashes": [c.to_dict() for c in self.crashes],
+            "stragglers": [s.to_dict() for s in self.stragglers],
+            "degraded_links": [l.to_dict() for l in self.degraded_links],
+            "checkpoint": self.checkpoint.to_dict(),
+            "recovery": self.recovery,
+            "seed": int(self.seed),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) — digest input."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        fmt = payload.get("format", PLAN_JSON_FORMAT)
+        if fmt != PLAN_JSON_FORMAT:
+            raise ConfigurationError(f"unsupported fault-plan format {fmt!r}")
+        return cls(
+            crashes=tuple(
+                Crash(machine=int(c["machine"]), superstep=int(c["superstep"]))
+                for c in payload.get("crashes", [])
+            ),
+            stragglers=tuple(
+                Straggler(
+                    machine=int(s["machine"]),
+                    start=int(s["start"]),
+                    duration=int(s.get("duration", 1)),
+                    factor=float(s.get("factor", 2.0)),
+                )
+                for s in payload.get("stragglers", [])
+            ),
+            degraded_links=tuple(
+                DegradedLink(
+                    src=int(l["src"]),
+                    dst=int(l["dst"]),
+                    start=int(l.get("start", 0)),
+                    duration=None if l.get("duration") is None else int(l["duration"]),
+                    bandwidth_scale=float(l.get("bandwidth_scale", 0.5)),
+                    latency_scale=float(l.get("latency_scale", 1.0)),
+                )
+                for l in payload.get("degraded_links", [])
+            ),
+            checkpoint=CheckpointPolicy(
+                interval=int(payload.get("checkpoint", {}).get("interval", 0))
+            ),
+            recovery=str(payload.get("recovery", "redistribute")),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the cache-key half of the
+        fault spec (folded into experiment digests)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def with_recovery(self, strategy: str) -> "FaultPlan":
+        """The same plan under a different recovery strategy."""
+        return replace(self, recovery=strategy)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        num_machines: int,
+        *,
+        seed: int,
+        horizon: int = 4,
+        num_crashes: int = 1,
+        num_stragglers: int = 1,
+        num_degraded_links: int = 0,
+        checkpoint_interval: int = 2,
+        recovery: str = "redistribute",
+        straggler_factor: float = 3.0,
+    ) -> "FaultPlan":
+        """Draw a reproducible random plan.
+
+        All randomness flows from ``seed`` through
+        :func:`repro.utils.rng.derive_rng`, so the same arguments always
+        produce the same plan (and hence the same digest).
+        """
+        if num_machines <= 1:
+            raise ConfigurationError("sampling a fault plan needs >= 2 machines")
+        if num_crashes >= num_machines:
+            raise ConfigurationError("cannot crash every machine")
+        rng = derive_rng(seed, 0xFA17)
+        machines = rng.permutation(num_machines)
+        crashes = tuple(
+            Crash(machine=int(machines[i]), superstep=int(rng.integers(1, max(2, horizon))))
+            for i in range(num_crashes)
+        )
+        stragglers = tuple(
+            Straggler(
+                machine=int(rng.integers(0, num_machines)),
+                start=int(rng.integers(0, max(1, horizon - 1))),
+                duration=int(rng.integers(1, 3)),
+                factor=float(straggler_factor),
+            )
+            for _ in range(num_stragglers)
+        )
+        links = []
+        for _ in range(num_degraded_links):
+            src = int(rng.integers(0, num_machines))
+            dst = int(rng.integers(0, num_machines))
+            if src == dst:
+                dst = (dst + 1) % num_machines
+            links.append(
+                DegradedLink(
+                    src=src,
+                    dst=dst,
+                    start=int(rng.integers(0, max(1, horizon - 1))),
+                    duration=int(rng.integers(1, horizon + 1)),
+                    bandwidth_scale=float(0.25 + 0.5 * rng.random()),
+                )
+            )
+        return cls(
+            crashes=crashes,
+            stragglers=stragglers,
+            degraded_links=tuple(links),
+            checkpoint=CheckpointPolicy(interval=checkpoint_interval),
+            recovery=recovery,
+            seed=int(seed),
+        )

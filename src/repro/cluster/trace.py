@@ -6,6 +6,12 @@ communication / wait phases per superstep turns a
 :class:`~repro.cluster.ledger.TimingLedger` into the kind of Gantt view
 systems papers use to *show* barrier waiting (the visual counterpart of
 Figure 12).
+
+Ledger event markers (crashes, checkpoints, recoveries, stragglers —
+see :class:`~repro.cluster.ledger.LedgerEvent`) are rendered as instant
+("i") events on the owning machine's track, so a fault-injected run
+shows *where* in the timeline the cluster lost a machine and how the
+schedule deformed around it.
 """
 
 from __future__ import annotations
@@ -13,11 +19,42 @@ from __future__ import annotations
 import json
 import os
 
-from repro.cluster.ledger import TimingLedger
+from repro.cluster.ledger import LedgerEvent, TimingLedger
 
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
 _PHASES = ("compute", "comm", "wait")
+
+#: event kinds that semantically occur *at the barrier* closing their
+#: superstep (a crash is detected there; checkpoint/recovery iterations
+#: complete there). Everything else marks the superstep's start.
+_BARRIER_EVENT_KINDS = frozenset({"crash", "checkpoint", "recovery"})
+
+
+def _event_to_instant(event: LedgerEvent, starts: list[float], durations: list[float]) -> dict:
+    """Render one ledger event as a Chrome-tracing instant event."""
+    step = event.superstep
+    if 0 <= step < len(starts):
+        ts = starts[step]
+        if event.kind in _BARRIER_EVENT_KINDS:
+            ts += durations[step]
+    else:  # event outside the recorded range (defensive): pin to the end
+        ts = starts[-1] + durations[-1] if starts else 0.0
+    instant = {
+        "name": f"{event.kind}[{step}]",
+        "cat": event.kind,
+        "ph": "i",
+        "pid": 0,
+        "ts": ts * 1e6,
+        "args": {"superstep": step, "seconds": event.seconds, **event.detail},
+    }
+    if event.machine >= 0:
+        instant["tid"] = event.machine
+        instant["s"] = "t"  # thread-scoped: flag on the machine's track
+    else:
+        instant["tid"] = 0
+        instant["s"] = "g"  # cluster-wide: global flag line
+    return instant
 
 
 def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[dict]:
@@ -26,7 +63,8 @@ def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[
     One track (tid) per machine; one event per (superstep, phase) with
     microsecond timestamps. Supersteps start at the barrier-aligned
     global clock, so waits render as gaps filled by explicit "wait"
-    events.
+    events. Ledger events become instant ("i") markers — on their
+    machine's track, or on the global flag line for cluster-wide ones.
     """
     events: list[dict] = [
         {
@@ -47,9 +85,15 @@ def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[
             }
         )
     t0 = 0.0
+    starts: list[float] = []
+    durations: list[float] = []
     for step, it in enumerate(ledger.iterations):
         duration = it.duration
+        starts.append(t0)
+        durations.append(duration)
         for machine in range(ledger.num_machines):
+            # Machines outside the iteration's active mask (crashed)
+            # record zero-length segments and drop out naturally.
             segments = (
                 (f"compute[{step}]", float(it.compute[machine])),
                 (f"comm[{step}]", float(it.comm[machine])),
@@ -72,6 +116,8 @@ def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[
                 )
                 cursor += seconds
         t0 += duration
+    for event in ledger.events:
+        events.append(_event_to_instant(event, starts, durations))
     return events
 
 

@@ -72,7 +72,10 @@ class WalkEngine:
     Parameters
     ----------
     cluster:
-        Machine count must equal the assignment's part count.
+        Machine count must equal the assignment's part count. Any object
+        with the :class:`~repro.cluster.bsp.BSPCluster` superstep surface
+        is accepted, e.g. :class:`~repro.cluster.faults.FaultAwareCluster`
+        for fault-injected runs — engines never see the faults.
     mode:
         ``"step_sync"`` or ``"greedy"`` (see module docstring).
     record_paths:

@@ -1,0 +1,344 @@
+"""Tests for the fault-injection subsystem (plan DSL, checkpoint cost,
+recovery planners, and the FaultAwareCluster wrapper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import BSPCluster
+from repro.cluster.faults import (
+    CheckpointCostModel,
+    CheckpointPolicy,
+    Crash,
+    DegradedLink,
+    FaultAwareCluster,
+    FaultPlan,
+    Straggler,
+    plan_redistribute,
+    plan_restart,
+)
+from repro.engines.knightking import DeepWalk, WalkEngine
+from repro.errors import ConfigurationError, SimulationError
+from repro.partition import get_partitioner
+
+MACHINES = 4
+
+STANDARD_PLAN = FaultPlan(
+    crashes=(Crash(machine=1, superstep=2),),
+    stragglers=(Straggler(machine=0, start=0, duration=2, factor=3.0),),
+    checkpoint=CheckpointPolicy(interval=2),
+    recovery="redistribute",
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def job():
+    """A partitioned graph shared by all cluster tests."""
+    from repro.graph import chung_lu
+
+    g = chung_lu(800, 10.0, 2.3, rng=5)
+    a = get_partitioner("bpart", seed=2).partition(g, MACHINES).assignment
+    return g, a
+
+
+def _run_walk(cluster, g, a, *, seed=3, steps=4):
+    engine = WalkEngine(cluster, seed=seed)
+    return engine.run(g, a, DeepWalk(), walkers_per_vertex=2, max_steps=steps)
+
+
+class TestFaultPlan:
+    def test_json_round_trip_is_identity(self):
+        plan = STANDARD_PLAN
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.to_json() == plan.to_json()
+        assert again.digest() == plan.digest()
+
+    def test_digest_distinguishes_plans(self):
+        assert STANDARD_PLAN.digest() != FaultPlan().digest()
+        assert (
+            STANDARD_PLAN.digest()
+            != STANDARD_PLAN.with_recovery("restart").digest()
+        )
+
+    def test_zero_fault_flags(self):
+        assert FaultPlan().is_zero_fault
+        assert not FaultPlan().needs_state
+        assert not STANDARD_PLAN.is_zero_fault
+        assert STANDARD_PLAN.needs_state
+        # Stragglers alone perturb timing but need no state.
+        p = FaultPlan(stragglers=(Straggler(machine=0, start=0),))
+        assert not p.is_zero_fault
+        assert not p.needs_state
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(recovery="teleport")
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                crashes=(Crash(machine=0, superstep=1), Crash(machine=0, superstep=2))
+            )
+        with pytest.raises(ConfigurationError):
+            FaultPlan(stragglers=(Straggler(machine=0, start=0, factor=0.0),))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(degraded_links=(DegradedLink(src=1, dst=1),))
+        with pytest.raises(ConfigurationError):
+            STANDARD_PLAN.validate_for(1)  # machine 1 outside a 1-machine cluster
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crashes=(Crash(machine=0, superstep=0),)).validate_for(1)
+
+    def test_from_json_rejects_other_formats(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json('{"format": "something-else"}')
+
+    def test_sample_is_deterministic(self):
+        a = FaultPlan.sample(8, seed=11, num_degraded_links=1)
+        b = FaultPlan.sample(8, seed=11, num_degraded_links=1)
+        assert a == b
+        assert a.digest() == b.digest()
+        assert a != FaultPlan.sample(8, seed=12, num_degraded_links=1)
+        a.validate_for(8)
+
+    def test_straggler_and_link_windows(self):
+        s = Straggler(machine=0, start=2, duration=2)
+        assert not s.active_at(1) and s.active_at(2) and s.active_at(3)
+        assert not s.active_at(4)
+        open_ended = DegradedLink(src=0, dst=1, start=1, duration=None)
+        assert not open_ended.active_at(0)
+        assert open_ended.active_at(100)
+
+    def test_checkpoint_cadence(self):
+        p = CheckpointPolicy(interval=2)
+        assert [t for t in range(6) if p.due_after(t)] == [1, 3, 5]
+        assert not any(CheckpointPolicy(interval=0).due_after(t) for t in range(6))
+
+
+class TestCheckpointCostModel:
+    def test_cost_scales_with_state(self):
+        m = CheckpointCostModel(fixed_seconds=0.0)
+        small = m.checkpoint_seconds(100.0, 100.0)
+        assert m.checkpoint_seconds(200.0, 200.0) == pytest.approx(2 * small)
+        assert m.restore_seconds(100.0, 100.0) == pytest.approx(small)
+
+    def test_read_bandwidth_override(self):
+        m = CheckpointCostModel(write_bandwidth=1e6, read_bandwidth=2e6, fixed_seconds=0.0)
+        assert m.restore_seconds(1e6 / 16, 0.0) == pytest.approx(
+            m.checkpoint_seconds(1e6 / 16, 0.0) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            CheckpointCostModel(write_bandwidth=0.0)
+
+
+class TestRecoveryPlanners:
+    def test_restart_concentrates_on_failed(self):
+        out = plan_restart(4, 2)
+        assert out.strategy == "restart"
+        assert out.share_v.tolist() == [0.0, 0.0, 1.0, 0.0]
+        assert out.hosting is None
+
+    def test_redistribute_moves_everything_to_survivors(self, job):
+        g, a = job
+        hosting = a.parts.astype(np.int64)
+        alive = np.ones(MACHINES, dtype=bool)
+        out = plan_redistribute(g, hosting, MACHINES, 1, alive, seed=7)
+        assert out.strategy == "redistribute"
+        assert (out.hosting != 1).all()
+        assert out.share_v[1] == 0.0
+        assert out.share_v.sum() == pytest.approx(1.0)
+        assert out.share_e.sum() == pytest.approx(1.0)
+        # Vertices not previously on machine 1 did not move.
+        unchanged = hosting != 1
+        assert (out.hosting[unchanged] == hosting[unchanged]).all()
+
+    def test_redistribute_deterministic(self, job):
+        g, a = job
+        hosting = a.parts.astype(np.int64)
+        alive = np.ones(MACHINES, dtype=bool)
+        a_out = plan_redistribute(g, hosting, MACHINES, 1, alive, seed=7)
+        b_out = plan_redistribute(g, hosting, MACHINES, 1, alive, seed=7)
+        assert (a_out.hosting == b_out.hosting).all()
+        assert (a_out.share_v == b_out.share_v).all()
+
+    def test_redistribute_balances_survivors(self, job):
+        g, a = job
+        hosting = a.parts.astype(np.int64)
+        alive = np.ones(MACHINES, dtype=bool)
+        out = plan_redistribute(g, hosting, MACHINES, 1, alive, seed=7)
+        counts = np.bincount(out.hosting, minlength=MACHINES).astype(float)
+        surv = counts[[0, 2, 3]]
+        assert surv.max() / surv.mean() < 1.35
+
+    def test_no_survivors_raises(self, job):
+        g, a = job
+        alive = np.zeros(MACHINES, dtype=bool)
+        alive[1] = True
+        with pytest.raises(SimulationError):
+            plan_redistribute(g, a.parts.astype(np.int64), MACHINES, 1, alive)
+
+
+class TestZeroFaultEquivalence:
+    def test_ledger_bit_identical_to_bsp(self, job):
+        g, a = job
+        base = _run_walk(BSPCluster(MACHINES), g, a)
+        faulty = _run_walk(FaultAwareCluster(MACHINES, FaultPlan()), g, a)
+        assert faulty.ledger.to_json() == base.ledger.to_json()
+        assert faulty.total_messages == base.total_messages
+        assert (faulty.final_positions == base.final_positions).all()
+        assert faulty.ledger.waiting_ratio == base.ledger.waiting_ratio
+
+    def test_overlap_flag_preserved(self, job):
+        g, a = job
+        base = _run_walk(BSPCluster(MACHINES, overlap=True), g, a)
+        faulty = _run_walk(
+            FaultAwareCluster(MACHINES, FaultPlan(), overlap=True), g, a
+        )
+        assert faulty.ledger.to_json() == base.ledger.to_json()
+
+
+class TestFaultAwareCluster:
+    def _faulty(self, job, plan, **kwargs):
+        g, a = job
+        return FaultAwareCluster(MACHINES, plan, graph=g, assignment=a, **kwargs)
+
+    def test_requires_state_for_crashes(self):
+        with pytest.raises(ConfigurationError):
+            FaultAwareCluster(MACHINES, STANDARD_PLAN)
+
+    def test_deterministic_byte_identical(self, job):
+        g, a = job
+        runs = [
+            _run_walk(self._faulty(job, STANDARD_PLAN), g, a) for _ in range(2)
+        ]
+        assert runs[0].ledger.to_json() == runs[1].ledger.to_json()
+
+    def test_crash_marks_machine_dead(self, job):
+        g, a = job
+        cluster = self._faulty(job, STANDARD_PLAN)
+        result = _run_walk(cluster, g, a)
+        report = cluster.report()
+        assert report.alive == [True, False, True, True]
+        assert len(report.crashes) == 1
+        assert report.crashes[0]["machine"] == 1
+        assert report.num_checkpoints >= 1
+        assert report.recovery_seconds > 0
+        # Dead machine does no work after the crash.
+        last = result.ledger.iterations[-1]
+        assert last.active is not None and not last.active[1]
+        assert last.compute[1] == 0.0 and last.wait[1] == 0.0
+
+    def test_walk_results_unperturbed_by_faults(self, job):
+        g, a = job
+        base = _run_walk(BSPCluster(MACHINES), g, a)
+        faulty = _run_walk(self._faulty(job, STANDARD_PLAN), g, a)
+        # Faults change the schedule, never the numerical semantics.
+        assert (faulty.final_positions == base.final_positions).all()
+        assert faulty.total_steps == base.total_steps
+
+    def test_restart_keeps_membership(self, job):
+        g, a = job
+        cluster = self._faulty(job, STANDARD_PLAN.with_recovery("restart"))
+        _run_walk(cluster, g, a)
+        report = cluster.report()
+        assert report.alive == [True] * MACHINES
+        assert report.crashes[0]["strategy"] == "restart"
+        assert report.recovery_seconds > 0
+
+    def test_redistribute_survivors_balanced(self, job):
+        g, a = job
+        cluster = self._faulty(job, STANDARD_PLAN)
+        _run_walk(cluster, g, a)
+        report = cluster.report()
+        # BPart input ⇒ recovered survivors stay near-balanced.
+        assert report.survivor_vertex_max_dev < 0.15
+        assert report.survivor_edge_max_dev < 0.35
+        hosting = cluster.hosting
+        assert (hosting != 1).all()
+
+    def test_straggler_slows_compute(self, job):
+        g, a = job
+        plan = FaultPlan(stragglers=(Straggler(machine=0, start=0, duration=1, factor=4.0),))
+        base = _run_walk(BSPCluster(MACHINES), g, a)
+        slow = _run_walk(FaultAwareCluster(MACHINES, plan), g, a)
+        assert slow.ledger.iterations[0].compute[0] == pytest.approx(
+            4.0 * base.ledger.iterations[0].compute[0]
+        )
+        assert (
+            slow.ledger.iterations[1].compute[0]
+            == base.ledger.iterations[1].compute[0]
+        )
+        kinds = [e.kind for e in slow.ledger.events]
+        assert kinds.count("straggler") == 1
+
+    def test_degraded_link_increases_comm(self, job):
+        g, a = job
+        plan = FaultPlan(
+            degraded_links=(DegradedLink(src=0, dst=1, bandwidth_scale=0.25),)
+        )
+        base = _run_walk(BSPCluster(MACHINES), g, a)
+        slow = _run_walk(FaultAwareCluster(MACHINES, plan), g, a)
+        assert slow.runtime >= base.runtime
+        assert slow.ledger.comm_matrix.sum() > base.ledger.comm_matrix.sum()
+        assert any(e.kind == "degraded-link" for e in slow.ledger.events)
+        # The numbers are untouched: only the schedule changed.
+        assert (slow.final_positions == base.final_positions).all()
+
+    def test_checkpoint_cost_depends_on_balance(self, job):
+        g, _ = job
+        plan = FaultPlan(checkpoint=CheckpointPolicy(interval=1))
+        cost = CheckpointCostModel(fixed_seconds=0.0)
+        reports = {}
+        for algo in ("bpart", "chunk-v"):
+            a = get_partitioner(algo, seed=2).partition(g, MACHINES).assignment
+            cluster = FaultAwareCluster(
+                MACHINES, plan, graph=g, assignment=a, checkpoint_cost=cost
+            )
+            _run_walk(cluster, g, a)
+            reports[algo] = cluster.report()
+        assert reports["bpart"].num_checkpoints == reports["chunk-v"].num_checkpoints
+        # A checkpoint barrier lasts as long as the most-stateful machine:
+        # the 2-D balanced partition checkpoints strictly cheaper than the
+        # vertex-balanced one on a skewed graph.
+        assert (
+            reports["bpart"].checkpoint_seconds
+            < reports["chunk-v"].checkpoint_seconds
+        )
+
+    def test_checkpoints_bound_replay(self, job):
+        g, a = job
+
+        def replay_with(interval):
+            plan = FaultPlan(
+                crashes=(Crash(machine=1, superstep=3),),
+                checkpoint=CheckpointPolicy(interval=interval),
+                seed=7,
+            )
+            cluster = FaultAwareCluster(MACHINES, plan, graph=g, assignment=a)
+            _run_walk(cluster, g, a)
+            return cluster.report().crashes[0]["replay_seconds"]
+
+        # With a checkpoint every superstep only the crashing superstep
+        # replays; with none, everything since the start does.
+        assert replay_with(1) < replay_with(0)
+
+    def test_report_before_run_raises(self, job):
+        cluster = self._faulty(job, STANDARD_PLAN)
+        cluster.begin_run()
+        cluster.report()  # mid-run report is fine
+        fresh = FaultAwareCluster(MACHINES)
+        with pytest.raises(SimulationError):
+            fresh.ledger  # noqa: B018 - property raises before begin_run
+
+    def test_gemini_engine_runs_through_faults(self, job):
+        from repro.engines.gemini import GeminiEngine, PageRank
+
+        g, a = job
+        base = GeminiEngine(BSPCluster(MACHINES)).run(g, a, PageRank(iterations=5))
+        cluster = self._faulty(job, STANDARD_PLAN)
+        res = GeminiEngine(cluster).run(g, a, PageRank(iterations=5))
+        assert np.allclose(res.values, base.values)
+        assert res.ledger.num_iterations > base.ledger.num_iterations
+        assert cluster.report().alive == [True, False, True, True]

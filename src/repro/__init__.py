@@ -12,7 +12,7 @@ Quickstart::
     print(partition.balance_report(result.assignment))
 """
 
-from repro import bench, cluster, engines, errors, graph, partition, utils
+from repro import bench, cluster, engines, errors, graph, partition, telemetry, utils
 
 __version__ = "1.0.0"
 
@@ -23,6 +23,7 @@ __all__ = [
     "errors",
     "graph",
     "partition",
+    "telemetry",
     "utils",
     "__version__",
 ]

@@ -48,6 +48,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro import telemetry
+from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import PartitionResult, get_partitioner
@@ -123,11 +125,25 @@ def config_key(name: str, params: Mapping[str, Any]) -> str:
 def scalar_attrs(obj: Any) -> dict[str, Any]:
     """Cache-keyable instance attributes (guards against default drift:
     a partitioner's scalar knobs enter the key even when the caller
-    relied on defaults)."""
+    relied on defaults).
+
+    Only a single leading underscore is stripped — ``lstrip("_")``
+    would fold ``_c``/``c`` (or ``__x``/``x``) into one key, aliasing
+    two distinct configs onto one artifact. A residual collision is a
+    hard error, never a silent merge.
+    """
     out: dict[str, Any] = {}
+    sources: dict[str, str] = {}
     for attr, value in sorted(vars(obj).items()):
         if isinstance(value, (bool, int, float, str, type(None), np.integer, np.floating)):
-            out[attr.lstrip("_")] = value
+            key = attr[1:] if attr.startswith("_") else attr
+            if key in out:
+                raise ConfigurationError(
+                    f"cache-key collision on {type(obj).__name__}: attributes "
+                    f"{sources[key]!r} and {attr!r} both map to key {key!r}"
+                )
+            out[key] = value
+            sources[key] = attr
     return out
 
 
@@ -150,6 +166,10 @@ class CacheStats:
             kind, {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
         )
         bucket[event] += 1
+        if telemetry.enabled():
+            telemetry.active().counter(
+                "bench.cache.events", kind=kind, event=event
+            ).inc()
 
     def as_dict(self) -> dict:
         return {

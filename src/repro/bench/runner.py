@@ -67,6 +67,7 @@ def _run_one(experiment_id: str, config: ExperimentConfig) -> ExperimentOutcome:
 
     Also the worker entry point — must stay module-level picklable.
     """
+    from repro import telemetry
     from repro.bench.artifacts import stats_snapshot
 
     before = stats_snapshot()
@@ -77,11 +78,18 @@ def _run_one(experiment_id: str, config: ExperimentConfig) -> ExperimentOutcome:
     except Exception:
         result = None
         error = traceback.format_exc(limit=8)
+    wall = time.perf_counter() - start
+    if telemetry.enabled():
+        # Per-process registry: with --jobs > 1 each worker accumulates
+        # its own metrics, and only the parent's registry is exported.
+        reg = telemetry.active()
+        reg.counter("bench.experiments", ok=str(error is None).lower()).inc()
+        reg.timer("bench.experiment_seconds", experiment=experiment_id).add(wall)
     return ExperimentOutcome(
         experiment_id=experiment_id,
         result=result,
         error=error,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=wall,
         cache=_diff_counters(before, stats_snapshot()),
     )
 

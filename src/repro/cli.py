@@ -13,6 +13,12 @@ experiment id)::
     repro-bench faults --scale 0.5          # fault-recovery experiment
     repro-bench trace --dataset twitter --algo bpart \\
                 --plan plan.json --out trace.json   # Chrome-tracing timeline
+    repro-bench metrics --dataset twitter --algo bpart --app pagerank \\
+                --format prom               # run a job, dump its telemetry
+
+``--telemetry out.json`` on bench/partition/trace enables collection
+for that run and writes the full snapshot (including the
+non-deterministic timer/span section) to the given file.
 """
 
 from __future__ import annotations
@@ -32,7 +38,39 @@ from repro.bench.harness import (
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("bench", "partition", "info", "validate", "faults", "trace")
+_SUBCOMMANDS = ("bench", "partition", "info", "validate", "faults", "trace", "metrics")
+
+
+def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.json",
+        default=None,
+        help="enable telemetry for this run and write the full snapshot "
+        "(including wall-clock timers/spans) to this JSON file",
+    )
+
+
+def _telemetry_begin(args) -> bool:
+    """Enable collection when ``--telemetry`` was given; returns the flag."""
+    if getattr(args, "telemetry", None):
+        from repro import telemetry
+
+        telemetry.set_enabled(True)
+        return True
+    return False
+
+
+def _telemetry_end(args) -> None:
+    """Write the snapshot promised by ``--telemetry`` (if given)."""
+    if getattr(args, "telemetry", None):
+        from repro import telemetry
+
+        with open(args.telemetry, "w", encoding="utf-8") as fh:
+            fh.write(
+                telemetry.to_json(telemetry.registry(), include_nondeterministic=True)
+            )
+        print(f"telemetry written to {args.telemetry}")
 
 
 def _bench_parser() -> argparse.ArgumentParser:
@@ -58,6 +96,7 @@ def _bench_parser() -> argparse.ArgumentParser:
         help="disable the partition/simulation artifact cache "
         "(equivalent to REPRO_NO_CACHE=1)",
     )
+    _add_telemetry_flag(p)
     return p
 
 
@@ -82,6 +121,7 @@ def _partition_parser() -> argparse.ArgumentParser:
         "(all backends produce identical assignments)",
     )
     p.add_argument("--out", help="write the part-id vector to this .npy file")
+    _add_telemetry_flag(p)
     return p
 
 
@@ -117,6 +157,7 @@ def _run_bench(argv: list[str]) -> int:
         os.environ["REPRO_NO_CACHE"] = "1"
     from repro.bench.runner import run_suite
 
+    _telemetry_begin(args)
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
     start = time.perf_counter()
     outcomes = run_suite(ids, config, jobs=max(1, args.jobs))
@@ -161,6 +202,7 @@ def _run_bench(argv: list[str]) -> int:
                 indent=1,
             )
         print(f"results written to {args.json}")
+    _telemetry_end(args)
     return status
 
 
@@ -169,6 +211,7 @@ def _run_partition(argv: list[str]) -> int:
     from repro.partition import balance_report, get_partitioner
 
     args = _partition_parser().parse_args(argv)
+    _telemetry_begin(args)
     if args.dataset:
         g = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     else:
@@ -196,6 +239,7 @@ def _run_partition(argv: list[str]) -> int:
     if args.out:
         np.save(args.out, result.assignment.parts)
         print(f"part ids written to {args.out}")
+    _telemetry_end(args)
     return 0
 
 
@@ -262,6 +306,7 @@ def _trace_parser() -> argparse.ArgumentParser:
         help="fault plan: path to a FaultPlan JSON file, or an inline JSON string",
     )
     p.add_argument("--out", default="trace.json", help="output trace file")
+    _add_telemetry_flag(p)
     return p
 
 
@@ -277,6 +322,7 @@ def _run_trace(argv: list[str]) -> int:
     from repro.graph import load_dataset, read_edge_list, summarize
 
     args = _trace_parser().parse_args(argv)
+    telemetry_on = _telemetry_begin(args)
     if args.app not in WALK_APPS + ITERATION_APPS:
         print(
             f"unknown app {args.app!r}; choose from {', '.join(WALK_APPS + ITERATION_APPS)}",
@@ -344,12 +390,131 @@ def _run_trace(argv: list[str]) -> int:
             )
         result = GeminiEngine(cluster).run(g, assignment, program)
         ledger = result.ledger
-    write_chrome_trace(ledger, args.out, job_name=job)
+    extra = None
+    if telemetry_on:
+        from repro import telemetry
+
+        extra = telemetry.spans_to_chrome_events(telemetry.registry())
+    write_chrome_trace(ledger, args.out, job_name=job, extra_events=extra)
     print(
         f"{ledger.num_iterations} supersteps, {len(ledger.events)} event markers, "
         f"runtime {ledger.total_runtime:.4f}s, waiting ratio {ledger.waiting_ratio:.3f}"
     )
     print(f"trace written to {args.out} (open in chrome://tracing or Perfetto)")
+    _telemetry_end(args)
+    return 0
+
+
+def _metrics_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench metrics",
+        description="Run a partition (and optionally an application) with "
+        "telemetry enabled and print the collected metrics. The partitioner "
+        "runs directly — never through the artifact cache — so kernel and "
+        "combine instrumentation always fires.",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=["livejournal", "twitter", "friendster"])
+    src.add_argument("--graph", help="path to an edge-list file")
+    p.add_argument("--algo", default="bpart", help="partitioner name (see registry)")
+    p.add_argument(
+        "--app",
+        default=None,
+        help="optionally drive an application too (walk apps, 'pagerank', 'cc')",
+    )
+    p.add_argument("--parts", type=int, default=8)
+    p.add_argument("--scale", type=float, default=1.0, help="dataset scale (datasets only)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--walkers", type=int, default=1, help="walkers per vertex (walk apps)")
+    p.add_argument(
+        "--format",
+        choices=["table", "json", "prom"],
+        default="table",
+        help="output rendering (prom = Prometheus text exposition)",
+    )
+    p.add_argument(
+        "--deterministic-only",
+        action="store_true",
+        help="JSON output: omit the wall-clock timer/span section "
+        "(the byte-stable subset)",
+    )
+    p.add_argument("--out", default=None, help="write the rendering to this file")
+    return p
+
+
+def _run_metrics(argv: list[str]) -> int:
+    from repro import telemetry
+    from repro.graph import load_dataset, read_edge_list, summarize
+    from repro.partition import get_partitioner
+
+    args = _metrics_parser().parse_args(argv)
+    telemetry.set_enabled(True)
+    telemetry.reset()
+    if args.dataset:
+        g = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        g = read_edge_list(args.graph)
+    print(f"graph: {summarize(g)}", file=sys.stderr)
+
+    for kwargs in ({"seed": args.seed}, {}):
+        try:
+            partitioner = get_partitioner(args.algo, **kwargs)
+            break
+        except TypeError:
+            continue
+    result = partitioner.partition(g, args.parts)
+
+    if args.app:
+        from repro.bench.workloads import ITERATION_APPS, WALK_APPS
+
+        if args.app not in WALK_APPS + ITERATION_APPS:
+            print(
+                f"unknown app {args.app!r}; choose from "
+                f"{', '.join(WALK_APPS + ITERATION_APPS)}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.cluster import BSPCluster
+
+        if args.app in WALK_APPS:
+            from repro.bench.workloads import _walk_app
+            from repro.engines.knightking import WalkEngine
+
+            app, default_steps = _walk_app(args.app)
+            WalkEngine(BSPCluster(args.parts), seed=args.seed).run(
+                g,
+                result.assignment,
+                app,
+                walkers_per_vertex=args.walkers,
+                max_steps=default_steps,
+            )
+        else:
+            from repro.engines.gemini import (
+                ConnectedComponents,
+                GeminiEngine,
+                PageRank,
+            )
+
+            program = (
+                PageRank(iterations=10) if args.app == "pagerank" else ConnectedComponents()
+            )
+            GeminiEngine(BSPCluster(args.parts)).run(g, result.assignment, program)
+
+    reg = telemetry.registry()
+    if args.format == "json":
+        text = telemetry.to_json(
+            reg, include_nondeterministic=not args.deterministic_only
+        )
+    elif args.format == "prom":
+        text = telemetry.to_prometheus(reg)
+    else:
+        text = telemetry.render_table(reg)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"metrics written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -368,6 +533,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_validate(rest)
     if cmd == "trace":
         return _run_trace(rest)
+    if cmd == "metrics":
+        return _run_metrics(rest)
     if cmd == "faults":
         # Shorthand for the fault-recovery experiment: ``repro-bench
         # faults --scale 0.5`` == ``repro-bench bench faults --scale 0.5``.

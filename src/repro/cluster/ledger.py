@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import SimulationError
 
 __all__ = ["IterationTiming", "LedgerEvent", "TimingLedger"]
@@ -178,6 +179,14 @@ class TimingLedger:
             active=None if active is None else active.copy(),
         )
         self._iterations.append(it)
+        if telemetry.enabled():
+            # The ledger *emits into* the registry instead of the
+            # registry keeping a second ledger. Simulated seconds are
+            # deterministic, so histograms are safe here.
+            reg = telemetry.active()
+            reg.counter("cluster.supersteps").inc()
+            reg.histogram("cluster.superstep_duration").observe(it.duration)
+            reg.histogram("cluster.barrier_wait").observe(float(it.wait.sum()))
         return it
 
     def add_event(
@@ -199,6 +208,11 @@ class TimingLedger:
             detail=detail,
         )
         self._events.append(event)
+        if telemetry.enabled():
+            reg = telemetry.active()
+            reg.counter("cluster.events", kind=kind).inc()
+            if seconds:
+                reg.counter("cluster.event_seconds", kind=kind).inc(float(seconds))
         return event
 
     # ------------------------------------------------------------------

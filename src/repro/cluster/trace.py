@@ -57,7 +57,12 @@ def _event_to_instant(event: LedgerEvent, starts: list[float], durations: list[f
     return instant
 
 
-def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[dict]:
+def to_chrome_trace(
+    ledger: TimingLedger,
+    *,
+    job_name: str = "bsp-job",
+    extra_events: list[dict] | None = None,
+) -> list[dict]:
     """Convert a ledger to Chrome-tracing "complete" (X) events.
 
     One track (tid) per machine; one event per (superstep, phase) with
@@ -65,6 +70,10 @@ def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[
     global clock, so waits render as gaps filled by explicit "wait"
     events. Ledger events become instant ("i") markers — on their
     machine's track, or on the global flag line for cluster-wide ones.
+
+    ``extra_events`` are appended verbatim — telemetry spans
+    (:func:`repro.telemetry.spans_to_chrome_events`) use this to merge
+    their own track (``pid=1``) into the machine timeline.
     """
     events: list[dict] = [
         {
@@ -118,12 +127,25 @@ def to_chrome_trace(ledger: TimingLedger, *, job_name: str = "bsp-job") -> list[
         t0 += duration
     for event in ledger.events:
         events.append(_event_to_instant(event, starts, durations))
+    if extra_events:
+        events.extend(extra_events)
     return events
 
 
 def write_chrome_trace(
-    ledger: TimingLedger, path: str | os.PathLike, *, job_name: str = "bsp-job"
+    ledger: TimingLedger,
+    path: str | os.PathLike,
+    *,
+    job_name: str = "bsp-job",
+    extra_events: list[dict] | None = None,
 ) -> None:
     """Write the trace JSON (loadable in chrome://tracing / Perfetto)."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump({"traceEvents": to_chrome_trace(ledger, job_name=job_name)}, fh)
+        json.dump(
+            {
+                "traceEvents": to_chrome_trace(
+                    ledger, job_name=job_name, extra_events=extra_events
+                )
+            },
+            fh,
+        )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.bsp import BSPCluster
 from repro.cluster.ledger import TimingLedger
 from repro.cluster.messages import TrafficMatrix
@@ -167,6 +168,8 @@ class GeminiEngine:
         state, active = program.initialize(graph)
         iterations = 0
         modes: list[str] = []
+        emit = telemetry.enabled()  # hoisted: one flag read per run
+        reg = telemetry.active()
         for it in range(program.max_iterations):
             if not active.any():
                 break
@@ -180,6 +183,13 @@ class GeminiEngine:
             else:
                 mode = self._mode
             modes.append(mode)
+            if emit:
+                reg.counter("engine.gemini.iterations", mode=mode).inc()
+                reg.counter("engine.gemini.active_vertices").inc(active_vertices.size)
+                reg.histogram(
+                    "engine.gemini.active_arc_fraction",
+                    buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+                ).observe(active_arc_fraction)
 
             if mode == "pull":
                 edges_per_m = all_edges_per_m
@@ -208,6 +218,9 @@ class GeminiEngine:
             )
             state, active = program.iterate(graph, state, active, it)
 
+        if emit:
+            reg.counter("engine.gemini.runs").inc()
+            reg.counter("engine.gemini.messages").inc(self._cluster.total_messages)
         return GeminiResult(
             values=state,
             iterations=iterations,

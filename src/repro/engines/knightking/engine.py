@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.bsp import BSPCluster
 from repro.cluster.ledger import TimingLedger
 from repro.cluster.messages import TrafficMatrix
@@ -178,6 +179,19 @@ class WalkEngine:
         steps_matrix = (
             np.stack(steps_rows) if steps_rows else np.zeros((0, m))
         )
+        if telemetry.enabled():
+            reg = telemetry.active()
+            reg.counter("engine.walk.runs").inc()
+            reg.counter("engine.walk.walkers").inc(batch.num_walkers)
+            reg.counter("engine.walk.steps").inc(batch.total_steps)
+            reg.counter("engine.walk.supersteps").inc(supersteps)
+            reg.counter("engine.walk.messages").inc(self._cluster.total_messages)
+            hist = reg.histogram(
+                "engine.walk.steps_per_superstep",
+                buckets=(1, 10, 100, 1_000, 10_000, 100_000, 1_000_000),
+            )
+            for row in steps_rows:
+                hist.observe(float(row.sum()))
         return WalkResult(
             ledger=self._cluster.ledger,
             total_steps=batch.total_steps,

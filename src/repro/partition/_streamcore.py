@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
 from repro.partition.kernels import get_kernel
@@ -97,6 +98,13 @@ def stream_partition(
     loads = np.zeros(k, dtype=np.float64)
     capacity = slack * w.sum() / k
     stream = vertex_stream(graph, order, rng=rng)
+    timer_ctx = (
+        telemetry.active().timer("partition.stream.seconds", kernel=backend.name).time()
+        if telemetry.enabled()
+        else None
+    )
+    if timer_ctx is not None:
+        timer_ctx.__enter__()
     backend.fennel(
         graph.indptr,
         graph.indices,
@@ -109,4 +117,11 @@ def stream_partition(
         capacity=float(capacity),
         passes=int(passes),
     )
+    if timer_ctx is not None:
+        timer_ctx.__exit__(None, None, None)
+        # Aggregates only, recorded after the kernel: the per-vertex hot
+        # loop stays untouched, so disabled-mode cost is one flag read.
+        reg = telemetry.active()
+        reg.counter("partition.stream.vertices", kernel=backend.name).inc(n * passes)
+        reg.gauge("partition.stream.saturated_parts").set(int((loads >= capacity).sum()))
     return parts

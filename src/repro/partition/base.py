@@ -13,6 +13,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.errors import ConfigurationError, PartitionError
 from repro.graph.csr import CSRGraph
 from repro.partition.assignment import PartitionAssignment
@@ -69,8 +70,19 @@ class Partitioner(abc.ABC):
                 f"cannot split {graph.num_vertices} vertices into {num_parts} parts"
             )
         clock = WallClock()
-        with clock.measure("total"):
-            assignment, metadata = self._partition(graph, int(num_parts), clock)
+        if telemetry.enabled():
+            reg = telemetry.active()
+            with reg.span("partition", algo=self.name, k=int(num_parts)):
+                with clock.measure("total"):
+                    assignment, metadata = self._partition(graph, int(num_parts), clock)
+            reg.counter("partition.runs", algo=self.name).inc()
+            reg.counter("partition.vertices", algo=self.name).inc(graph.num_vertices)
+            reg.timer("partition.run_seconds", algo=self.name).add(
+                clock.segments.get("total", clock.total)
+            )
+        else:
+            with clock.measure("total"):
+                assignment, metadata = self._partition(graph, int(num_parts), clock)
         return PartitionResult(assignment=assignment, clock=clock, metadata=metadata)
 
     @abc.abstractmethod

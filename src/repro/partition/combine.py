@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import PartitionError
 from repro.graph.csr import CSRGraph
 from repro.graph.subgraph import extract_subgraph
@@ -181,6 +182,16 @@ def multi_layer_combine(
             vertex_bias_after=bias(vcnt) if vcnt.size else 0.0,
             edge_bias_after=bias(ecnt) if ecnt.size else 0.0,
         )
+        if telemetry.enabled():
+            reg = telemetry.active()
+            reg.counter("partition.combine.layers").inc()
+            reg.counter("partition.combine.pieces").inc(pieces)
+            reg.gauge("partition.combine.vertex_bias", layer=layer).set(
+                trace.vertex_bias_after
+            )
+            reg.gauge("partition.combine.edge_bias", layer=layer).set(
+                trace.edge_bias_after
+            )
 
         eps = balance_threshold
         dev_v = np.abs(vcnt - v_target) / v_target

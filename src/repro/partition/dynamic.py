@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError, PartitionError
 from repro.partition.kernels import get_kernel
 from repro.utils.validation import check_positive, check_probability
@@ -148,10 +149,15 @@ class DynamicPartitioner:
         ``neighbors`` is the vertex's full adjacency (ids not yet
         present are counted toward its degree but contribute no overlap
         signal until they arrive — the standard streaming semantics).
+        Duplicate ids and a self-loop are ignored: the offline CSR
+        builder dedups parallel edges and drops self-loops at build
+        time, so counting them here would inflate both the degree and
+        the overlap score relative to :func:`stream_partition`.
         """
         if vertex in self._parts:
             raise PartitionError(f"vertex {vertex} already present")
-        nbrs = np.asarray(list(neighbors), dtype=np.int64)
+        nbrs = np.unique(np.asarray(list(neighbors), dtype=np.int64))
+        nbrs = nbrs[nbrs != vertex]
         degree = int(nbrs.size)
 
         overlap = np.zeros(self._k, dtype=np.float64)
@@ -166,19 +172,49 @@ class DynamicPartitioner:
             else max(len(self._parts) + 1, self._k)
         )
         capacity = self._slack * provisioned / self._k
+        alpha = self._current_alpha()
         choice = self._backend.single(
             overlap,
             loads,
-            alpha=self._current_alpha(),
+            alpha=alpha,
             gamma=self._gamma,
             capacity=float(capacity),
         )
+        if telemetry.enabled():
+            self._emit_decision(overlap, loads, alpha, float(capacity))
 
         self._parts[vertex] = choice
         self._degrees[vertex] = degree
         self._vcounts[choice] += 1
         self._ecounts[choice] += degree
         return choice
+
+    def _emit_decision(
+        self,
+        overlap: np.ndarray,
+        loads: np.ndarray,
+        alpha: float,
+        capacity: float,
+    ) -> None:
+        """Record one placement decision (only called when enabled).
+
+        Re-derives the scalar scores the backend evaluated — this does
+        not influence the choice, it only measures how contested and
+        how saturated the decision was.
+        """
+        reg = telemetry.active()
+        reg.counter("partition.dynamic.adds").inc()
+        saturated = int((loads >= capacity).sum())
+        if saturated:
+            reg.counter("partition.dynamic.capacity_rejections").inc(saturated)
+        scores = overlap - alpha * self._gamma * loads ** (self._gamma - 1.0)
+        open_mask = loads < capacity
+        if open_mask.any():
+            best = scores[open_mask].max()
+            ties = int((scores[open_mask] == best).sum())
+            if ties > 1:
+                reg.counter("partition.dynamic.argmax_ties").inc()
+        reg.gauge("partition.dynamic.vertices").set(len(self._parts) + 1)
 
     def remove_vertex(self, vertex: int) -> int:
         """Remove a departing vertex; returns the part it vacated."""
@@ -189,6 +225,10 @@ class DynamicPartitioner:
         degree = self._degrees.pop(vertex)
         self._vcounts[part] -= 1
         self._ecounts[part] -= degree
+        if telemetry.enabled():
+            reg = telemetry.active()
+            reg.counter("partition.dynamic.removes").inc()
+            reg.gauge("partition.dynamic.vertices").set(len(self._parts))
         return part
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
 from repro.partition.assignment import PartitionAssignment
@@ -70,6 +71,12 @@ class LDGPartitioner(Partitioner):
                 parts,
                 loads,
                 capacity=float(capacity),
+            )
+        if telemetry.enabled():
+            reg = telemetry.active()
+            reg.counter("partition.stream.vertices", kernel=self._kernel.name).inc(n)
+            reg.gauge("partition.stream.saturated_parts").set(
+                int((loads >= capacity).sum())
             )
         return (
             PartitionAssignment(graph, parts, num_parts),

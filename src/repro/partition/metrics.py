@@ -59,15 +59,42 @@ def jains_fairness(values) -> float:
     return total * total / (x.size * sq_sum)
 
 
+def _check_parts(parts: np.ndarray, num_parts: int | None) -> np.ndarray:
+    """Validate a raw assignment vector once, with a useful error.
+
+    Without this, ``-1`` (the streaming kernels' "unassigned" marker)
+    or an id ≥ ``num_parts`` either raises an opaque ``ValueError``
+    inside ``np.bincount`` or silently widens/mis-shapes the result.
+    """
+    parts = np.asarray(parts)
+    if parts.size == 0:
+        return parts
+    lo = int(parts.min())
+    hi = int(parts.max())
+    if lo < 0:
+        raise PartitionError(
+            f"assignment contains unassigned/negative part ids "
+            f"(min id {lo}); every vertex must have a part in [0, k)"
+        )
+    if num_parts is not None and hi >= num_parts:
+        raise PartitionError(
+            f"assignment contains part id {hi} but num_parts={num_parts}; "
+            f"ids must lie in [0, {num_parts})"
+        )
+    return parts
+
+
 def part_vertex_counts(parts: np.ndarray, num_parts: int) -> np.ndarray:
     """``|V_i|`` from a raw assignment vector."""
-    return np.bincount(np.asarray(parts), minlength=num_parts).astype(np.int64)
+    parts = _check_parts(parts, num_parts)
+    return np.bincount(parts, minlength=num_parts).astype(np.int64)
 
 
 def part_edge_counts(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> np.ndarray:
     """``|E_i|`` (arcs stored per part) from a raw assignment vector."""
+    parts = _check_parts(parts, num_parts)
     return np.bincount(
-        np.asarray(parts), weights=graph.degrees, minlength=num_parts
+        parts, weights=graph.degrees, minlength=num_parts
     ).astype(np.int64)
 
 
@@ -77,7 +104,7 @@ def edge_cut_ratio(graph: CSRGraph, parts: np.ndarray) -> float:
     For symmetrised undirected storage this equals the fraction of
     undirected edges cut, which is what Table 3 reports.
     """
-    parts = np.asarray(parts)
+    parts = _check_parts(parts, None)
     if parts.size != graph.num_vertices:
         raise PartitionError("assignment length != num_vertices")
     if graph.num_edges == 0:
@@ -93,7 +120,7 @@ def connectivity_matrix(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> n
     part ``j``; the diagonal holds internal arcs. Symmetric for
     undirected graphs. §3.3 checks ``min_{i≠j} M[i, j]`` is large.
     """
-    parts = np.asarray(parts, dtype=np.int64)
+    parts = _check_parts(parts, num_parts).astype(np.int64)
     if parts.size != graph.num_vertices:
         raise PartitionError("assignment length != num_vertices")
     src, dst = graph.edge_array()

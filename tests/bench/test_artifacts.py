@@ -319,3 +319,54 @@ class TestGeminiMemoisation:
         assert a.derived_cache()["gemini"] is structs  # reused, not rebuilt
         assert r2.runtime == pytest.approx(r1.runtime)
         assert r2.total_messages == r1.total_messages
+
+
+class TestScalarAttrs:
+    def test_single_leading_underscore_stripped(self):
+        from types import SimpleNamespace
+
+        from repro.bench.artifacts import scalar_attrs
+
+        out = scalar_attrs(SimpleNamespace(_slack=1.1, order="natural"))
+        assert out == {"slack": 1.1, "order": "natural"}
+
+    def test_double_underscore_keeps_one(self):
+        """``__x`` strips to ``_x`` (one underscore only), so it cannot
+        alias a plain ``x`` attribute."""
+        from types import SimpleNamespace
+
+        from repro.bench.artifacts import scalar_attrs
+
+        obj = SimpleNamespace()
+        vars(obj)["__x"] = 1
+        vars(obj)["x"] = 2
+        out = scalar_attrs(obj)
+        assert out == {"_x": 1, "x": 2}
+
+    def test_collision_raises(self):
+        """``_c`` and ``c`` must never silently merge into one cache
+        key — two distinct configs would alias one artifact."""
+        from types import SimpleNamespace
+
+        from repro.bench.artifacts import scalar_attrs
+        from repro.errors import ConfigurationError
+
+        obj = SimpleNamespace(_c=0.5, c=0.7)
+        with pytest.raises(ConfigurationError, match="collision"):
+            scalar_attrs(obj)
+
+    def test_partitioner_keys_unchanged(self):
+        """The one-underscore strip produces the same keys as before for
+        every registered partitioner (all use single-underscore attrs),
+        so existing cache artifacts stay addressable — no salt bump."""
+        from repro.bench.artifacts import scalar_attrs
+        from repro.partition.base import available_partitioners
+
+        for name in available_partitioners():
+            try:
+                p = get_partitioner(name, seed=0)
+            except TypeError:
+                p = get_partitioner(name)
+            attrs = scalar_attrs(p)
+            for key in attrs:
+                assert not key.startswith("_")

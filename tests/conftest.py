@@ -32,6 +32,22 @@ def _hermetic_artifact_cache(tmp_path, monkeypatch):
     artifacts.reset_store()
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_telemetry():
+    """Telemetry starts disabled and empty for every test.
+
+    Tests that enable collection (or record into the shared registry)
+    never leak series into their neighbours.
+    """
+    from repro import telemetry
+
+    telemetry.set_enabled(False)
+    telemetry.reset()
+    yield
+    telemetry.set_enabled(False)
+    telemetry.reset()
+
+
 @pytest.fixture
 def triangle():
     """K3: the smallest graph with a cycle."""

@@ -123,3 +123,56 @@ class TestBalanceReport:
         assert rep.edge_fairness == pytest.approx(jains_fairness(a.edge_counts))
         assert 0 <= rep.cut_ratio <= 1
         assert "bias(V)" in str(rep)
+
+
+class TestAssignmentValidation:
+    """Bad assignments must raise PartitionError with the offending
+    range — not an opaque bincount ValueError or a mis-shaped matrix."""
+
+    def test_unassigned_vertex_counts(self):
+        with pytest.raises(PartitionError, match="negative"):
+            part_vertex_counts(np.array([0, 1, -1, 2]), 4)
+
+    def test_out_of_range_vertex_counts(self):
+        with pytest.raises(PartitionError, match="num_parts=4"):
+            part_vertex_counts(np.array([0, 1, 7, 2]), 4)
+
+    def test_unassigned_edge_counts(self, powerlaw_small):
+        parts = np.arange(powerlaw_small.num_vertices) % 4
+        parts[0] = -1
+        with pytest.raises(PartitionError, match="negative"):
+            part_edge_counts(powerlaw_small, parts, 4)
+
+    def test_out_of_range_edge_counts(self, powerlaw_small):
+        parts = np.arange(powerlaw_small.num_vertices) % 4
+        parts[0] = 4
+        with pytest.raises(PartitionError, match="part id 4"):
+            part_edge_counts(powerlaw_small, parts, 4)
+
+    def test_connectivity_matrix_rejects_out_of_range(self, powerlaw_small):
+        """Pre-validation, an id >= num_parts silently widened the flat
+        bincount and reshape produced garbage (or raised ValueError)."""
+        parts = np.arange(powerlaw_small.num_vertices) % 4
+        parts[0] = 9
+        with pytest.raises(PartitionError, match="part id 9"):
+            connectivity_matrix(powerlaw_small, parts, 4)
+
+    def test_connectivity_matrix_rejects_unassigned(self, powerlaw_small):
+        parts = np.arange(powerlaw_small.num_vertices) % 4
+        parts[0] = -1
+        with pytest.raises(PartitionError, match="negative"):
+            connectivity_matrix(powerlaw_small, parts, 4)
+
+    def test_edge_cut_rejects_unassigned(self, ring64):
+        parts = np.zeros(64, dtype=int)
+        parts[5] = -1
+        with pytest.raises(PartitionError, match="negative"):
+            edge_cut_ratio(ring64, parts)
+
+    def test_valid_assignment_unaffected(self, powerlaw_small):
+        parts = np.arange(powerlaw_small.num_vertices) % 4
+        assert part_vertex_counts(parts, 4).sum() == powerlaw_small.num_vertices
+        assert connectivity_matrix(powerlaw_small, parts, 4).shape == (4, 4)
+
+    def test_empty_assignment_ok(self):
+        assert part_vertex_counts(np.array([], dtype=int), 3).tolist() == [0, 0, 0]

@@ -19,9 +19,12 @@ reuse layer:
   ``~/.cache/repro-bpart/``), one subdirectory per artifact kind, with
   an in-process LRU in front so a warm experiment never touches the
   disk twice. Writes are atomic (temp file + ``os.replace``) so
-  parallel ``--jobs`` workers can share one store; unreadable or
-  truncated files are treated as misses, deleted best-effort, and
-  recomputed — never a crash.
+  parallel ``--jobs`` workers can share one store; transient I/O errors
+  retry briefly (:data:`ArtifactStore.IO_RETRY`) and then degrade to a
+  counted miss/skipped store, and unreadable or truncated files are
+  treated as misses, deleted best-effort, and recomputed — never a
+  crash. Both paths carry chaos-injection sites (``artifacts.load`` /
+  ``artifacts.store``, see :mod:`repro.resilience.chaos`).
 - **Bypass.** Timing-measurement experiments (Table 2's partition
   overhead) pass ``bypass=True`` so their wall clocks are always
   measured fresh; ``REPRO_NO_CACHE=1`` (the CLI's ``--no-cache``)
@@ -51,6 +54,7 @@ import numpy as np
 from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
+from repro.resilience import RetryPolicy, call_with_retry, maybe_inject
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import PartitionResult, get_partitioner
 from repro.utils.timing import WallClock
@@ -194,6 +198,10 @@ class ArtifactStore:
     shared by later in-process hits.
     """
 
+    #: transient-I/O retry before a read/write degrades (tiny backoff —
+    #: the cache is an optimisation, never worth waiting seconds for).
+    IO_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.1)
+
     def __init__(self, root: Path | None = None, *, memory_items: int = 128) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = CacheStats()
@@ -212,8 +220,11 @@ class ArtifactStore:
     def load(self, kind: str, graph_fp: str, key: str) -> dict | None:
         """Payload for the key, or ``None`` (counted as a miss).
 
-        A present-but-unreadable file counts as an error *and* a miss:
-        it is removed best-effort and the caller recomputes.
+        Transient I/O errors (``OSError``) retry under :data:`IO_RETRY`
+        and then degrade to a counted miss — the caller recomputes. A
+        present-but-*corrupted* file counts as an error and a miss: it
+        is removed best-effort and the caller recomputes. Neither path
+        is ever fatal.
         """
         mem_key = (kind, graph_fp, key)
         payload = self._memory.get(mem_key)
@@ -225,9 +236,21 @@ class ArtifactStore:
         if not path.exists():
             self.stats.record(kind, "misses")
             return None
-        try:
+
+        def _read(attempt: int) -> dict:
+            maybe_inject("artifacts.load", key, attempt=attempt, path=path)
             with np.load(path, allow_pickle=False) as data:
-                payload = {name: data[name] for name in data.files}
+                return {name: data[name] for name in data.files}
+
+        try:
+            payload = call_with_retry(
+                _read, self.IO_RETRY, retry_on=(OSError,), key=key, site="artifacts.load"
+            )
+        except OSError:
+            # Persistent I/O failure: degrade to recompute, keep the file.
+            self.stats.record(kind, "errors")
+            self.stats.record(kind, "misses")
+            return None
         except Exception:
             self.stats.record(kind, "errors")
             self.stats.record(kind, "misses")
@@ -241,14 +264,17 @@ class ArtifactStore:
         return payload
 
     def store(self, kind: str, graph_fp: str, key: str, payload: dict) -> None:
-        """Atomically persist a payload (best-effort; IO failures only
-        cost the cache entry, never the computation)."""
+        """Atomically persist a payload (best-effort; I/O failures retry
+        under :data:`IO_RETRY`, then only cost the cache entry — never
+        the computation)."""
         self._remember((kind, graph_fp, key), payload)
         if not cache_enabled():
             return
         path = self.path_for(kind, graph_fp, key)
         disk = {k: v for k, v in payload.items() if not k.startswith("__")}
-        try:
+
+        def _write(attempt: int) -> None:
+            maybe_inject("artifacts.store", key, attempt=attempt, path=path)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
@@ -261,6 +287,11 @@ class ArtifactStore:
                         os.unlink(tmp)
                     except OSError:
                         pass
+
+        try:
+            call_with_retry(
+                _write, self.IO_RETRY, retry_on=(OSError,), key=key, site="artifacts.store"
+            )
         except Exception:
             self.stats.record(kind, "errors")
             return

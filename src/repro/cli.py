@@ -96,6 +96,40 @@ def _bench_parser() -> argparse.ArgumentParser:
         help="disable the partition/simulation artifact cache "
         "(equivalent to REPRO_NO_CACHE=1)",
     )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock bound (parallel runs only); a "
+        "worker exceeding it is killed and the experiment retried",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts after a worker death or timeout (default 1)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already recorded as successful in the "
+        "journal for this --scale/--seed; re-run only what is missing",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="JSONL outcome journal (default: suite-journal.jsonl in the "
+        "artifact cache dir); every completed outcome is fsync-appended",
+    )
+    p.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        default=None,
+        help="fault-injection plan: path to a chaos-plan JSON file or an "
+        "inline JSON string (testing the resilience layer itself)",
+    )
     _add_telemetry_flag(p)
     return p
 
@@ -155,12 +189,32 @@ def _run_bench(argv: list[str]) -> int:
         import os
 
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args.chaos:
+        import os
+
+        from repro.resilience import ChaosPlan, install_plan
+
+        text = args.chaos
+        if os.path.exists(text):
+            with open(text, encoding="utf-8") as fh:
+                text = fh.read()
+        install_plan(ChaosPlan.from_json(text))
+    from repro.bench.artifacts import default_cache_dir
     from repro.bench.runner import run_suite
 
+    journal = args.journal or str(default_cache_dir() / "suite-journal.jsonl")
     _telemetry_begin(args)
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
     start = time.perf_counter()
-    outcomes = run_suite(ids, config, jobs=max(1, args.jobs))
+    outcomes = run_suite(
+        ids,
+        config,
+        jobs=max(1, args.jobs),
+        timeout=args.timeout,
+        retries=max(0, args.retries),
+        journal=journal,
+        resume=args.resume,
+    )
     total = time.perf_counter() - start
     status = 0
     collected = []
@@ -169,15 +223,23 @@ def _run_bench(argv: list[str]) -> int:
             print(f"experiment {out.experiment_id} failed:\n{out.error}", file=sys.stderr)
             status = 1
             continue
-        print(out.result.render())
+        print(out.render())
         cache = out.cache or {}
+        notes = ""
+        if out.resumed:
+            notes = ", resumed from journal"
+        elif out.attempts > 1:
+            notes = f", {out.attempts} attempts"
         print(
             f"[{out.experiment_id} finished in {out.wall_seconds:.1f}s — "
-            f"cache {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses]\n"
+            f"cache {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses"
+            f"{notes}]\n"
         )
-        entry = out.result.to_dict()
+        entry = out.payload() or {"experiment_id": out.experiment_id}
         entry["wall_time_s"] = out.wall_seconds
         entry["cache"] = cache
+        if out.resumed:
+            entry["resumed"] = True
         collected.append(entry)
     hits = sum(o.cache.get("hits", 0) for o in outcomes if o.cache)
     misses = sum(o.cache.get("misses", 0) for o in outcomes if o.cache)

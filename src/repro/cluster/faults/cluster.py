@@ -258,6 +258,11 @@ class FaultAwareCluster:
         """Record one engine superstep, applying the plan at time ``t``."""
         if self._ledger is None:
             raise SimulationError("no run started; call begin_run() first")
+        if not self._alive.any():
+            raise SimulationError(
+                "superstep requested but every machine has crashed "
+                "(redistribute recovery left no survivors)"
+            )
         m = self._num_machines
         t = self._t
         zero = np.zeros(m)

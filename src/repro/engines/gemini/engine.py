@@ -117,6 +117,8 @@ class GeminiEngine:
             )
         if assignment.graph is not graph and assignment.graph != graph:
             raise SimulationError("assignment was computed for a different graph")
+        if graph.num_vertices == 0:
+            raise SimulationError("cannot run a vertex program on an empty graph")
 
         m = self._cluster.num_machines
         degrees = graph.degrees

@@ -140,10 +140,14 @@ class WalkEngine:
             raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
         rng = as_rng(self._seed)
         n = graph.num_vertices
+        if n == 0:
+            raise SimulationError("cannot run walks on an empty graph")
         if start_vertices is None:
             if walkers_per_vertex <= 0:
                 raise ConfigurationError("walkers_per_vertex must be positive")
             start_vertices = np.tile(np.arange(n, dtype=np.int64), walkers_per_vertex)
+        elif np.asarray(start_vertices).size == 0:
+            raise SimulationError("no walkers to run: start_vertices is empty")
         batch = WalkerBatch.start_at(start_vertices)
         parts = assignment.parts.astype(np.int64)
         m = self._cluster.num_machines

@@ -4,22 +4,41 @@ The edge-list reader/writer handles the whitespace-separated ``u v``
 format of SNAP/KONECT dumps (the paper's datasets are distributed that
 way), the ``.npz`` format is the fast native round-trip, and the METIS
 format enables interop with external multilevel partitioners.
+
+Real-world edge streams are multi-GB and messy, so the text readers
+take an ``on_error`` recovery mode instead of failing the whole
+ingestion on line one:
+
+- ``"raise"`` (default) — :class:`~repro.errors.GraphFormatError` with
+  ``path:lineno`` on the first malformed line;
+- ``"skip"`` — drop malformed lines, counting them under the
+  ``graph.io.malformed_lines`` telemetry counter;
+- ``"collect"`` — like ``skip``, but additionally append a
+  :class:`ParseIssue` per problem to the caller-supplied ``errors``
+  list, so ingestion reports *what* was dropped.
+
+Truncated input (e.g. a cut-short ``.gz`` download) follows the same
+modes: fatal under ``"raise"``, a recorded issue plus a graph built
+from the readable prefix otherwise.
 """
 
 from __future__ import annotations
 
 import gzip
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import IO
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro import telemetry
+from repro.errors import ConfigurationError, GraphFormatError
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
 
 __all__ = [
+    "ParseIssue",
     "open_text",
     "read_edge_list",
     "write_edge_list",
@@ -28,6 +47,41 @@ __all__ = [
     "read_metis",
     "write_metis",
 ]
+
+_ON_ERROR_MODES = ("raise", "skip", "collect")
+
+
+@dataclass(frozen=True)
+class ParseIssue:
+    """One recoverable problem found while reading a graph file."""
+
+    path: str
+    lineno: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: {self.message}"
+
+
+def _check_mode(on_error: str, errors: list | None) -> None:
+    if on_error not in _ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
+    if on_error == "collect" and errors is None:
+        raise ConfigurationError("on_error='collect' needs an errors=[] list to fill")
+
+
+def _handle(
+    on_error: str, errors: list | None, path, lineno: int, message: str
+) -> None:
+    """Dispatch one malformed-input event per the recovery mode."""
+    if on_error == "raise":
+        raise GraphFormatError(f"{path}:{lineno}: {message}")
+    if telemetry.enabled():
+        telemetry.active().counter("graph.io.malformed_lines", mode=on_error).inc()
+    if on_error == "collect":
+        errors.append(ParseIssue(str(path), lineno, message))
 
 
 def open_text(path: str | os.PathLike, mode: str = "r") -> IO[str]:
@@ -42,32 +96,58 @@ def open_text(path: str | os.PathLike, mode: str = "r") -> IO[str]:
     return open(path, mode, encoding="utf-8")
 
 
+def _read_lines(fh, path, on_error: str, errors: list | None):
+    """Yield ``(lineno, line)``, converting mid-stream I/O failures
+    (truncated gzip, disk errors) into the recovery mode's behaviour."""
+    lineno = 0
+    while True:
+        try:
+            line = fh.readline()
+        except (EOFError, OSError, UnicodeDecodeError) as exc:
+            _handle(on_error, errors, path, lineno + 1, f"unreadable input: {exc}")
+            return
+        if not line:
+            return
+        lineno += 1
+        yield lineno, line
+
+
 def read_edge_list(
     path: str | os.PathLike,
     *,
     directed: bool = False,
     comments: str = "#",
     num_vertices: int | None = None,
+    on_error: str = "raise",
+    errors: list | None = None,
 ) -> CSRGraph:
     """Read a whitespace-separated ``u v`` edge list.
 
     Lines starting with ``comments`` (default ``#``, SNAP convention) and
-    blank lines are skipped. Vertex ids must be non-negative integers.
+    blank lines are skipped. Vertex ids must be non-negative integers;
+    anything else follows the ``on_error`` recovery mode (see module
+    docstring).
     """
+    _check_mode(on_error, errors)
     src: list[int] = []
     dst: list[int] = []
     with open_text(path) as fh:
-        for lineno, line in enumerate(fh, start=1):
+        for lineno, line in _read_lines(fh, path, on_error, errors):
             line = line.strip()
             if not line or line.startswith(comments):
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise GraphFormatError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+                _handle(on_error, errors, path, lineno, f"expected 'u v', got {line!r}")
+                continue
             try:
                 u, v = int(parts[0]), int(parts[1])
-            except ValueError as exc:
-                raise GraphFormatError(f"{path}:{lineno}: non-integer vertex id") from exc
+            except ValueError:
+                _handle(on_error, errors, path, lineno, "non-integer vertex id")
+                continue
+            if u < 0 or v < 0:
+                _handle(on_error, errors, path, lineno, f"negative vertex id in {line!r}")
+                continue
             src.append(u)
             dst.append(v)
     return from_edges(
@@ -123,23 +203,72 @@ def write_metis(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(" ".join(str(int(u) + 1) for u in graph.neighbors(v)) + "\n")
 
 
-def read_metis(path: str | os.PathLike) -> CSRGraph:
-    """Read the METIS/KaHIP format written by :func:`write_metis`."""
+def read_metis(
+    path: str | os.PathLike,
+    *,
+    on_error: str = "raise",
+    errors: list | None = None,
+) -> CSRGraph:
+    """Read the METIS/KaHIP format written by :func:`write_metis`.
+
+    The header is always strict — without a trustworthy vertex count
+    there is nothing to recover *to* — and is cross-checked against the
+    body: the declared edge count must match the adjacency lists, and
+    neighbor ids must be positive (the format is 1-indexed; a ``0``
+    almost always means a 0-indexed exporter). Body problems follow
+    ``on_error`` like the edge-list reader.
+    """
+    _check_mode(on_error, errors)
     path = Path(path)
     with open(path, "r", encoding="utf-8") as fh:
         header = fh.readline().split()
         if len(header) < 2:
-            raise GraphFormatError(f"{path}: bad METIS header")
-        n = int(header[0])
+            raise GraphFormatError(
+                f"{path}:1: bad METIS header (need '<num_vertices> <num_edges>')"
+            )
+        try:
+            n, m = int(header[0]), int(header[1])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{path}:1: non-integer METIS header token in {header[:2]}"
+            ) from exc
+        if n < 0 or m < 0:
+            raise GraphFormatError(f"{path}:1: negative count in METIS header")
         src: list[int] = []
         dst: list[int] = []
         for v in range(n):
             line = fh.readline()
             if not line:
-                raise GraphFormatError(f"{path}: truncated at vertex {v}")
+                _handle(
+                    on_error, errors, path, v + 2,
+                    f"truncated: adjacency for vertex {v} missing "
+                    f"(header claims {n} vertices)",
+                )
+                break
             for tok in line.split():
+                try:
+                    w = int(tok)
+                except ValueError:
+                    _handle(
+                        on_error, errors, path, v + 2,
+                        f"non-integer neighbor id {tok!r}",
+                    )
+                    continue
+                if w < 1:
+                    _handle(
+                        on_error, errors, path, v + 2,
+                        f"non-positive neighbor id {w} "
+                        "(METIS is 1-indexed; is the file 0-indexed?)",
+                    )
+                    continue
                 src.append(v)
-                dst.append(int(tok) - 1)
+                dst.append(w - 1)
+    if len(src) != 2 * m:
+        _handle(
+            on_error, errors, path, n + 1,
+            f"header claims {m} edges but adjacency lists encode "
+            f"{len(src)} arcs (expected {2 * m})",
+        )
     # The file stores both directions already; treat as directed arcs and
     # mark undirected so edge counting stays consistent.
     g = from_edges(

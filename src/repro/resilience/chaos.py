@@ -1,0 +1,233 @@
+"""Deterministic chaos harness: seeded fault injection for the pipeline.
+
+Production code calls :func:`maybe_inject` at its *injection sites* —
+named choke points such as ``runner.worker`` (inside a suite worker
+process, keyed by experiment id) or ``artifacts.load`` (before reading a
+cache file, keyed by the artifact key). With no plan installed the call
+is a module-global ``None`` check. With a plan, whether a site fires is
+a **pure function** of ``(plan seed, site, rule, key)`` plus the
+caller's 1-based attempt number:
+
+- a rule fires for a key iff ``hash_unit(seed, site, index, key) <
+  rate`` — the *same* keys fail in every run of the same plan,
+  regardless of worker scheduling;
+- it keeps firing for the first ``max_fires`` attempts at that key and
+  then stays quiet, so a retry policy with more attempts than
+  ``max_fires`` is *guaranteed* to eventually see the clean path (the
+  chaos tests assert recovery, not luck).
+
+Fault kinds cover the real failure classes of the execution layer:
+
+``exception``  raise :class:`ChaosError` (an experiment bug),
+``ioerror``    raise :class:`OSError` (store/filesystem failure),
+``corrupt``    scribble over the file at ``path`` (torn cache write),
+``hang``       sleep ``hang_seconds`` (stuck worker / NFS stall),
+``kill``       ``os._exit(70)`` (OOM-killed / segfaulted worker).
+
+Plans serialise to canonical JSON and install into the
+``REPRO_CHAOS`` environment variable, so spawn workers inherit the
+active plan exactly like ``REPRO_NO_CACHE`` — the parent process and
+every worker agree on which sites fail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.errors import ConfigurationError, ReproError
+from repro.resilience.policy import hash_unit
+
+__all__ = [
+    "CHAOS_ENV",
+    "KILL_EXIT_CODE",
+    "ChaosError",
+    "ChaosRule",
+    "ChaosPlan",
+    "active_plan",
+    "install_plan",
+    "maybe_inject",
+]
+
+#: environment variable carrying the installed plan's JSON.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: exit status used by the ``kill`` fault (distinct from Python's 1/2).
+KILL_EXIT_CODE = 70
+
+_KINDS = ("exception", "ioerror", "corrupt", "hang", "kill")
+
+
+class ChaosError(ReproError):
+    """The exception raised by an ``exception``-kind injection."""
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One injection rule: *where*, *what*, *how often*, *how long*.
+
+    Attributes
+    ----------
+    site:   injection-site name the rule applies to (exact match).
+    kind:   one of ``exception | ioerror | corrupt | hang | kill``.
+    rate:   fraction of keys at the site that fail (hash-selected).
+    match:  substring filter on the key ("" = every key).
+    max_fires:  attempts (per key) the rule fires on before going quiet.
+    hang_seconds:  sleep length for ``hang`` rules.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    match: str = ""
+    max_fires: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"chaos kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ConfigurationError(f"chaos rate must be in [0, 1], got {self.rate}")
+        if self.max_fires < 1:
+            raise ConfigurationError(f"max_fires must be >= 1, got {self.max_fires}")
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(
+                f"hang_seconds must be positive, got {self.hang_seconds}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "rate": self.rate,
+            "match": self.match,
+            "max_fires": self.max_fires,
+            "hang_seconds": self.hang_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seed plus an ordered rule list; fully deterministic."""
+
+    seed: int = 0
+    rules: tuple[ChaosRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def firing_rule(self, site: str, key: str, attempt: int = 1) -> ChaosRule | None:
+        """The first rule that fires at ``(site, key, attempt)``, if any."""
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or rule.match not in key:
+                continue
+            if attempt > rule.max_fires:
+                continue
+            if hash_unit(self.seed, site, index, key) < rule.rate:
+                return rule
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "chaos-plan/v1",
+                "seed": self.seed,
+                "rules": [r.as_dict() for r in self.rules],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid chaos plan JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("chaos plan must be a JSON object")
+        fmt = payload.get("format", "chaos-plan/v1")
+        if fmt != "chaos-plan/v1":
+            raise ConfigurationError(f"unknown chaos plan format {fmt!r}")
+        rules = []
+        for entry in payload.get("rules", []):
+            known = {k: entry[k] for k in entry if k in ChaosRule.__dataclass_fields__}
+            rules.append(ChaosRule(**known))
+        return cls(seed=int(payload.get("seed", 0)), rules=tuple(rules))
+
+
+_PLAN: ChaosPlan | None = None
+_ENV_CACHE: tuple[str, ChaosPlan] | None = None
+
+
+def install_plan(plan: ChaosPlan | None) -> None:
+    """Install (or with ``None``, clear) the process-wide plan.
+
+    The plan is also mirrored into ``$REPRO_CHAOS`` so spawn workers —
+    which import everything fresh — inherit it, exactly like the cache
+    and telemetry environment switches.
+    """
+    global _PLAN
+    _PLAN = plan
+    if plan is None:
+        os.environ.pop(CHAOS_ENV, None)
+    else:
+        os.environ[CHAOS_ENV] = plan.to_json()
+
+
+def active_plan() -> ChaosPlan | None:
+    """The installed plan, or one parsed from ``$REPRO_CHAOS``, or None."""
+    global _ENV_CACHE
+    if _PLAN is not None:
+        return _PLAN
+    text = os.environ.get(CHAOS_ENV, "")
+    if not text:
+        return None
+    if _ENV_CACHE is None or _ENV_CACHE[0] != text:
+        _ENV_CACHE = (text, ChaosPlan.from_json(text))
+    return _ENV_CACHE[1]
+
+
+def maybe_inject(
+    site: str, key: str, *, attempt: int = 1, path: os.PathLike | str | None = None
+) -> None:
+    """Fire the active plan's fault for ``(site, key, attempt)``, if any.
+
+    ``path`` is required for ``corrupt`` rules to have a target; other
+    kinds ignore it. Injections are counted under ``chaos.injections``
+    (labelled by site and kind) before the effect, so even a ``kill``
+    leaves a trace in worker-local telemetry.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = plan.firing_rule(site, key, attempt)
+    if rule is None:
+        return
+    if telemetry.enabled():
+        telemetry.active().counter("chaos.injections", site=site, kind=rule.kind).inc()
+    if rule.kind == "exception":
+        raise ChaosError(f"chaos: injected failure at {site} for {key!r}")
+    if rule.kind == "ioerror":
+        raise OSError(f"chaos: injected I/O error at {site} for {key!r}")
+    if rule.kind == "hang":
+        time.sleep(rule.hang_seconds)
+        return
+    if rule.kind == "corrupt":
+        if path is not None and os.path.exists(path):
+            with open(path, "wb") as fh:
+                fh.write(b"chaos: corrupted artifact\x00")
+        return
+    # kill: flush stdio so partial output is not lost with the process.
+    try:
+        import sys
+
+        sys.stdout.flush()
+        sys.stderr.flush()
+    except Exception:  # pragma: no cover - flushing is best-effort
+        pass
+    os._exit(KILL_EXIT_CODE)

@@ -1,0 +1,88 @@
+"""Crash-safe append-only JSONL journal.
+
+The suite runner records one JSON line per *completed* experiment
+outcome; ``repro-bench all --resume`` replays the journal and re-runs
+only what is missing. Crash-safety is the whole point, so the write
+path is deliberately boring:
+
+- one record = one line, appended with ``flush()`` + ``os.fsync()`` —
+  a SIGKILL between suite experiments never loses a completed outcome;
+- the reader tolerates a torn trailing line (the one write a crash can
+  interrupt) by skipping undecodable lines instead of failing;
+- records are keyed by the caller (experiment id × config digest here),
+  and later records for the same key supersede earlier ones, so a
+  re-run simply appends — the journal is never rewritten in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import telemetry
+
+__all__ = ["JsonlJournal"]
+
+
+class JsonlJournal:
+    """Append-only JSONL file with fsync'd writes and tolerant reads."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (creates parent dirs on demand).
+
+        A crash mid-append leaves a line without its trailing newline;
+        writing the next record directly after it would glue the two
+        into one undecodable line, losing the *new* record too. Probe
+        the last byte and start on a fresh line when needed — the torn
+        fragment stays torn, the new record stays readable.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a+b") as fh:
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write(line.encode("utf-8") + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def records(self) -> list[dict]:
+        """All decodable records, in write order.
+
+        Torn or garbage lines (a crash mid-append, manual edits) are
+        skipped and counted under ``resilience.journal_torn_lines`` —
+        resuming from a journal that saw a crash is the normal case,
+        not an error.
+        """
+        if not self.path.exists():
+            return []
+        out: list[dict] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if telemetry.enabled():
+                        telemetry.active().counter(
+                            "resilience.journal_torn_lines"
+                        ).inc()
+                    continue
+                if isinstance(record, dict):
+                    out.append(record)
+        return out
+
+    def latest_by(self, *fields: str) -> dict[tuple, dict]:
+        """Last record per distinct ``fields`` tuple (later wins)."""
+        out: dict[tuple, dict] = {}
+        for record in self.records():
+            key = tuple(record.get(f) for f in fields)
+            out[key] = record
+        return out

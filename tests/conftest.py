@@ -48,6 +48,17 @@ def _hermetic_telemetry():
     telemetry.reset()
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_chaos(monkeypatch):
+    """No chaos plan leaks between tests (module global or $REPRO_CHAOS)."""
+    from repro.resilience import chaos
+
+    monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+    chaos.install_plan(None)
+    yield
+    chaos.install_plan(None)
+
+
 @pytest.fixture
 def triangle():
     """K3: the smallest graph with a cycle."""

@@ -1,0 +1,154 @@
+"""Robustness tests for the graph readers: malformed and truncated input."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.graph import ring_graph
+from repro.graph.io import ParseIssue, read_edge_list, read_metis, write_metis
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    if name.endswith(".gz"):
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestEdgeListOnError:
+    BAD = "# comment\n0 1\nnot numbers\n1 2\n3\n-1 4\n2 0\n"
+
+    def test_raise_mode_reports_path_and_lineno(self, tmp_path):
+        path = _write(tmp_path, "bad.txt", self.BAD)
+        with pytest.raises(GraphFormatError, match=rf"{path}:3: non-integer"):
+            read_edge_list(path)
+
+    def test_skip_mode_drops_bad_lines(self, tmp_path):
+        telemetry.set_enabled(True)
+        path = _write(tmp_path, "bad.txt", self.BAD)
+        g = read_edge_list(path, on_error="skip")
+        assert g.num_undirected_edges == 3  # 0-1, 1-2, 2-0 survive
+        reg = telemetry.registry()
+        assert reg.counter("graph.io.malformed_lines", mode="skip").value == 3
+
+    def test_collect_mode_reports_what_was_dropped(self, tmp_path):
+        path = _write(tmp_path, "bad.txt", self.BAD)
+        issues: list[ParseIssue] = []
+        g = read_edge_list(path, on_error="collect", errors=issues)
+        assert g.num_undirected_edges == 3
+        assert [i.lineno for i in issues] == [3, 5, 6]
+        assert "non-integer" in issues[0].message
+        assert "expected 'u v'" in issues[1].message
+        assert "negative vertex id" in issues[2].message
+        assert str(issues[0]).startswith(f"{path}:3:")
+
+    def test_negative_id_raises_with_lineno(self, tmp_path):
+        path = _write(tmp_path, "neg.txt", "0 1\n-2 3\n")
+        with pytest.raises(GraphFormatError, match=r":2: negative vertex id"):
+            read_edge_list(path)
+
+    def test_gzip_round_trip_clean(self, tmp_path):
+        path = _write(tmp_path, "ok.txt.gz", "0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_undirected_edges == 2
+
+    def test_truncated_gzip_raise_mode(self, tmp_path):
+        full = _write(tmp_path, "full.txt.gz", "0 1\n" * 500)
+        cut = tmp_path / "cut.txt.gz"
+        cut.write_bytes(full.read_bytes()[:-10])
+        with pytest.raises(GraphFormatError, match="unreadable input"):
+            read_edge_list(cut)
+
+    def test_truncated_gzip_skip_mode_keeps_prefix(self, tmp_path):
+        lines = "".join(f"{i} {i + 1}\n" for i in range(500))
+        full = _write(tmp_path, "full.txt.gz", lines)
+        cut = tmp_path / "cut.txt.gz"
+        raw = full.read_bytes()
+        cut.write_bytes(raw[: len(raw) // 2])
+        issues: list[ParseIssue] = []
+        g = read_edge_list(cut, on_error="collect", errors=issues)
+        assert 0 < g.num_undirected_edges < 500  # the readable prefix
+        assert len(issues) == 1
+        assert "unreadable input" in issues[0].message
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        path = _write(tmp_path, "ok.txt", "0 1\n")
+        with pytest.raises(ConfigurationError, match="on_error"):
+            read_edge_list(path, on_error="ignore")
+
+    def test_collect_requires_errors_list(self, tmp_path):
+        path = _write(tmp_path, "ok.txt", "0 1\n")
+        with pytest.raises(ConfigurationError, match="errors"):
+            read_edge_list(path, on_error="collect")
+
+
+class TestMetisRobustness:
+    def test_round_trip_still_works(self, tmp_path):
+        g = ring_graph(12)
+        path = tmp_path / "ring.metis"
+        write_metis(g, path)
+        h = read_metis(path)
+        assert h.num_vertices == 12
+        assert h.num_undirected_edges == g.num_undirected_edges
+
+    def test_short_header_raises(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "5\n")
+        with pytest.raises(GraphFormatError, match=r":1: bad METIS header"):
+            read_metis(path)
+
+    def test_non_integer_header_raises_with_location(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "five 4\n")
+        with pytest.raises(GraphFormatError, match=r":1: non-integer METIS header"):
+            read_metis(path)
+
+    def test_negative_header_raises(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 -1\n\n\n\n")
+        with pytest.raises(GraphFormatError, match=r":1: negative count"):
+            read_metis(path)
+
+    def test_non_integer_neighbor_raises_with_lineno(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "2 1\n2\nx\n")
+        with pytest.raises(GraphFormatError, match=r":3: non-integer neighbor id 'x'"):
+            read_metis(path)
+
+    def test_zero_neighbor_rejected_as_zero_indexed(self, tmp_path):
+        # A 0-indexed exporter: vertex ids 0/1 instead of 1/2.
+        path = _write(tmp_path, "g.metis", "2 1\n1\n0\n")
+        with pytest.raises(GraphFormatError, match=r":3: non-positive neighbor id 0"):
+            read_metis(path)
+
+    def test_header_edge_count_validated_against_body(self, tmp_path):
+        # Header claims 5 edges; the body encodes one (two arcs).
+        path = _write(tmp_path, "g.metis", "2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="header claims 5 edges"):
+            read_metis(path)
+
+    def test_truncated_body_raise_mode(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 2\n2\n1 3\n")
+        with pytest.raises(GraphFormatError, match="truncated: adjacency for vertex 2"):
+            read_metis(path)
+
+    def test_truncated_body_collect_mode_keeps_prefix(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 2\n2\n1 3\n")
+        issues: list[ParseIssue] = []
+        g = read_metis(path, on_error="collect", errors=issues)
+        assert g.num_vertices == 3
+        # Vertex 2's line is missing, so its arcs are missing too: both
+        # the truncation and the resulting count mismatch are reported.
+        assert any("truncated" in i.message for i in issues)
+        assert any("header claims" in i.message for i in issues)
+
+    def test_skip_mode_drops_bad_tokens(self, tmp_path):
+        telemetry.set_enabled(True)
+        path = _write(tmp_path, "g.metis", "2 1\n2 x\n1\n")
+        g = read_metis(path, on_error="skip")
+        assert g.num_undirected_edges == 1
+        reg = telemetry.registry()
+        assert reg.counter("graph.io.malformed_lines", mode="skip").value == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the deterministic chaos harness."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    ChaosError,
+    ChaosPlan,
+    ChaosRule,
+    active_plan,
+    install_plan,
+    maybe_inject,
+)
+from repro.resilience.chaos import CHAOS_ENV
+
+
+class TestChaosRule:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "meteor"},
+            {"kind": "kill", "rate": 1.5},
+            {"kind": "kill", "max_fires": 0},
+            {"kind": "hang", "hang_seconds": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosRule(site="s", **kwargs)
+
+
+class TestChaosPlan:
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = ChaosPlan(rules=[ChaosRule(site="s", kind="exception", rate=1.0)])
+        never = ChaosPlan(rules=[ChaosRule(site="s", kind="exception", rate=0.0)])
+        for key in ("a", "b", "c"):
+            assert always.firing_rule("s", key) is not None
+            assert never.firing_rule("s", key) is None
+
+    def test_partial_rate_is_deterministic_per_key(self):
+        plan = ChaosPlan(seed=5, rules=[ChaosRule(site="s", kind="exception", rate=0.5)])
+        keys = [f"k{i}" for i in range(100)]
+        fired = [plan.firing_rule("s", k) is not None for k in keys]
+        assert fired == [plan.firing_rule("s", k) is not None for k in keys]
+        assert 20 < sum(fired) < 80  # roughly half, hash-selected
+        other = ChaosPlan(seed=6, rules=plan.rules)
+        assert fired != [other.firing_rule("s", k) is not None for k in keys]
+
+    def test_site_and_match_filters(self):
+        plan = ChaosPlan(rules=[ChaosRule(site="s", kind="exception", match="fig")])
+        assert plan.firing_rule("s", "fig03") is not None
+        assert plan.firing_rule("s", "table2") is None
+        assert plan.firing_rule("other", "fig03") is None
+
+    def test_max_fires_caps_attempts(self):
+        plan = ChaosPlan(rules=[ChaosRule(site="s", kind="exception", max_fires=2)])
+        assert plan.firing_rule("s", "k", attempt=1) is not None
+        assert plan.firing_rule("s", "k", attempt=2) is not None
+        assert plan.firing_rule("s", "k", attempt=3) is None
+
+    def test_json_round_trip(self):
+        plan = ChaosPlan(
+            seed=11,
+            rules=[
+                ChaosRule(site="a", kind="kill", rate=0.3, match="x", max_fires=2),
+                ChaosRule(site="b", kind="hang", hang_seconds=0.5),
+            ],
+        )
+        assert ChaosPlan.from_json(plan.to_json()) == plan
+
+    @pytest.mark.parametrize("text", ["not json", "[1, 2]", '{"format": "v99"}'])
+    def test_from_json_rejects_garbage(self, text):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.from_json(text)
+
+
+class TestInstallAndInject:
+    def test_no_plan_is_a_noop(self):
+        assert active_plan() is None
+        maybe_inject("anything", "key")  # must not raise
+
+    def test_install_mirrors_into_env_and_clears(self):
+        import os
+
+        plan = ChaosPlan(rules=[ChaosRule(site="s", kind="exception")])
+        install_plan(plan)
+        assert os.environ[CHAOS_ENV] == plan.to_json()
+        assert active_plan() == plan
+        install_plan(None)
+        assert CHAOS_ENV not in os.environ
+        assert active_plan() is None
+
+    def test_active_plan_parses_env(self, monkeypatch):
+        plan = ChaosPlan(seed=3, rules=[ChaosRule(site="s", kind="ioerror")])
+        monkeypatch.setenv(CHAOS_ENV, plan.to_json())
+        assert active_plan() == plan
+
+    def test_exception_and_ioerror_kinds(self):
+        install_plan(ChaosPlan(rules=[ChaosRule(site="boom", kind="exception")]))
+        with pytest.raises(ChaosError):
+            maybe_inject("boom", "k")
+        install_plan(ChaosPlan(rules=[ChaosRule(site="disk", kind="ioerror")]))
+        with pytest.raises(OSError):
+            maybe_inject("disk", "k")
+
+    def test_corrupt_kind_scribbles_over_the_file(self, tmp_path):
+        target = tmp_path / "artifact.npz"
+        target.write_bytes(b"precious data")
+        install_plan(ChaosPlan(rules=[ChaosRule(site="store", kind="corrupt")]))
+        maybe_inject("store", "k", path=target)
+        assert target.read_bytes() != b"precious data"
+        # Missing path: the corruption has no target and is a no-op.
+        maybe_inject("store", "k2", path=tmp_path / "nope")
+
+    def test_hang_kind_sleeps(self):
+        install_plan(
+            ChaosPlan(rules=[ChaosRule(site="slow", kind="hang", hang_seconds=0.05)])
+        )
+        start = time.perf_counter()
+        maybe_inject("slow", "k")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_injections_are_counted(self):
+        telemetry.set_enabled(True)
+        install_plan(ChaosPlan(rules=[ChaosRule(site="boom", kind="exception")]))
+        with pytest.raises(ChaosError):
+            maybe_inject("boom", "k")
+        reg = telemetry.registry()
+        assert reg.counter("chaos.injections", site="boom", kind="exception").value == 1

@@ -1,0 +1,55 @@
+"""Unit tests for the crash-safe JSONL outcome journal."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.resilience import JsonlJournal
+
+
+class TestJsonlJournal:
+    def test_append_and_read_back(self, tmp_path):
+        j = JsonlJournal(tmp_path / "nested" / "journal.jsonl")
+        j.append({"id": "a", "ok": True})
+        j.append({"id": "b", "ok": False})
+        assert j.records() == [{"id": "a", "ok": True}, {"id": "b", "ok": False}]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert JsonlJournal(tmp_path / "absent.jsonl").records() == []
+
+    def test_torn_trailing_line_is_skipped_and_counted(self, tmp_path):
+        telemetry.set_enabled(True)
+        path = tmp_path / "journal.jsonl"
+        j = JsonlJournal(path)
+        j.append({"id": "a"})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"id": "b", "ok": tr')  # crash mid-append
+        assert j.records() == [{"id": "a"}]
+        reg = telemetry.registry()
+        assert reg.counter("resilience.journal_torn_lines").value == 1
+        # Appending after the torn line still yields decodable records
+        # (the torn line stays torn; later records supersede by key).
+        j.append({"id": "b", "ok": True})
+        assert j.records() == [{"id": "a"}, {"id": "b", "ok": True}]
+
+    def test_non_object_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('[1, 2]\n"str"\n{"id": "a"}\n\n', encoding="utf-8")
+        assert JsonlJournal(path).records() == [{"id": "a"}]
+
+    def test_latest_by_later_record_wins(self, tmp_path):
+        j = JsonlJournal(tmp_path / "journal.jsonl")
+        j.append({"id": "a", "cfg": "1", "ok": False})
+        j.append({"id": "a", "cfg": "1", "ok": True})
+        j.append({"id": "a", "cfg": "2", "ok": False})
+        latest = j.latest_by("id", "cfg")
+        assert latest[("a", "1")]["ok"] is True
+        assert latest[("a", "2")]["ok"] is False
+
+    def test_records_are_plain_json_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        JsonlJournal(path).append({"z": 1, "a": 2})
+        line = path.read_text(encoding="utf-8").strip()
+        assert json.loads(line) == {"a": 2, "z": 1}
+        assert line == '{"a": 2, "z": 1}'  # sorted keys, one line

@@ -18,6 +18,48 @@ class TestBenchCommand:
         assert "fig08" in capsys.readouterr().out
 
 
+class TestBenchResilienceFlags:
+    def test_journal_and_resume(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        args = ["bench", "fig08", "--scale", "0.05", "--seed", "3",
+                "--journal", str(journal)]
+        assert main(args) == 0
+        assert journal.exists()
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from journal" in out
+        assert "fig08" in out
+
+    def test_chaos_plan_inline_json(self, capsys, tmp_path):
+        from repro.bench.runner import WORKER_CHAOS_SITE
+        from repro.resilience import ChaosPlan, ChaosRule
+
+        plan = ChaosPlan(
+            rules=[ChaosRule(site=WORKER_CHAOS_SITE, kind="kill", max_fires=1)]
+        )
+        code = main(
+            ["bench", "fig08", "--scale", "0.05", "--seed", "3",
+             "--jobs", "2", "--retries", "2",
+             "--journal", str(tmp_path / "j.jsonl"),
+             "--chaos", plan.to_json()]
+        )
+        assert code == 0
+        assert "fig08" in capsys.readouterr().out
+
+    def test_chaos_plan_from_file(self, capsys, tmp_path):
+        from repro.resilience import ChaosPlan
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(ChaosPlan().to_json(), encoding="utf-8")
+        code = main(
+            ["bench", "fig08", "--scale", "0.05",
+             "--journal", str(tmp_path / "j.jsonl"),
+             "--chaos", str(plan_file)]
+        )
+        assert code == 0
+
+
 class TestInfoCommand:
     def test_all_datasets(self, capsys):
         assert main(["info", "--scale", "0.05"]) == 0

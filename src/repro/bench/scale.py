@@ -1,0 +1,385 @@
+"""Out-of-core scale sweep: peak RSS + throughput, dense vs sharded.
+
+``repro-bench scale`` measures what the sharded substrate actually buys:
+for a range of vertex counts (default 2^17 … 2^21) it runs one *cell*
+per (representation, kernel) in a **fresh subprocess** — building the
+graph and Fennel-partitioning it — and records the child's
+``ru_maxrss`` peak together with partition throughput (vertices/sec).
+A subprocess per cell is the only honest way to compare peaks: within
+one process the allocator never returns freed arena pages, so a dense
+cell would inflate every later sharded reading.
+
+Cells:
+
+- ``dense`` × kernel (``incremental``, ``buffered``) — in-RAM
+  ``social_graph`` build + ``stream_partition``;
+- ``sharded`` — the same distribution streamed through
+  :func:`~repro.graph.generators.social_edge_batches` into a
+  :class:`~repro.graph.sharded.ShardedCSRBuilder`, partitioned straight
+  off the memory-mapped shards.
+
+Every invocation also runs an in-process **parity control**: a small
+graph is spilled with :func:`~repro.graph.sharded.spill_csr` and all
+five partitioners must produce bit-identical assignments on both
+representations. ``--demo`` runs the acceptance workload (2^20
+vertices, d̄ = 32 → ≈ 16.8 M edges) and asserts the sharded peak stays
+under 40 % of the dense peak. ``--record`` appends the results to
+``BENCH_hotpaths.json`` / ``BENCH_suite.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "run_cell", "parity_control"]
+
+DEFAULT_EXPONENTS = (17, 18, 19, 20, 21)
+DEFAULT_AVG_DEGREE = 16.0
+DEFAULT_PARTS = 8
+DENSE_KERNELS = ("incremental", "buffered")
+PARITY_ALGOS = ("fennel", "bpart", "ldg", "hash", "chunk-v")
+
+#: Acceptance bound: sharded peak RSS / dense peak RSS on the demo cell.
+DEMO_RSS_BOUND = 0.40
+
+
+def _checksum(parts: np.ndarray) -> str:
+    """Short stable digest of an assignment, for cross-cell comparison."""
+    return hashlib.sha256(np.ascontiguousarray(parts).tobytes()).hexdigest()[:16]
+
+
+def _peak_rss_mb() -> float:
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _run_cell(
+    kind: str,
+    n: int,
+    avg_degree: float,
+    num_parts: int,
+    seed: int,
+    kernel: str,
+    spill_dir: str | None,
+    shard_size: int | None,
+) -> dict:
+    """Build + partition one cell; runs inside the child process."""
+    from repro.graph import from_edges, social_edge_batches
+    from repro.graph.sharded import DEFAULT_SHARD_SIZE, ShardedCSRBuilder
+    from repro.partition._streamcore import default_alpha, stream_partition
+
+    # Both representations consume the *same* batched edge stream, so
+    # the resulting CSRs are arc-for-arc identical and the assignment
+    # checksums must match across cells at every scale.
+    t0 = time.perf_counter()
+    batches = social_edge_batches(n, avg_degree, 2.3, rng=seed)
+    if kind == "dense":
+        chunks = [np.stack([s, d]) for s, d in batches]
+        graph = from_edges(
+            np.concatenate([c[0] for c in chunks]),
+            np.concatenate([c[1] for c in chunks]),
+            n,
+        )
+        del chunks
+    else:
+        builder = ShardedCSRBuilder(
+            spill_dir, num_vertices=n, shard_size=shard_size or DEFAULT_SHARD_SIZE
+        )
+        for src, dst in batches:
+            builder.add_edges(src, dst)
+        graph = builder.finalize()
+    build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parts = stream_partition(
+        graph,
+        num_parts,
+        vertex_weights=np.ones(graph.num_vertices),
+        alpha=default_alpha(graph, num_parts),
+        kernel=kernel,
+    )
+    partition_s = time.perf_counter() - t0
+    # What a dense CSR of this graph occupies: the denominator of the
+    # "well under dense RAM" claim (indptr int64 + indices int32).
+    csr_mb = ((n + 1) * 8 + graph.num_edges * 4) / 2**20
+    return {
+        "kind": kind,
+        "kernel": kernel if kind == "dense" else "buffered",
+        "num_vertices": n,
+        "num_arcs": int(graph.num_edges),
+        "num_parts": num_parts,
+        "seed": seed,
+        "build_seconds": round(build_s, 3),
+        "partition_seconds": round(partition_s, 3),
+        "vertices_per_sec": round(n / partition_s) if partition_s > 0 else None,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "csr_mb": round(csr_mb, 1),
+        "checksum": _checksum(parts),
+    }
+
+
+def _cell_entry(queue, kwargs: dict) -> None:  # pragma: no cover - child process
+    try:
+        queue.put(_run_cell(**kwargs))
+    except MemoryError:
+        queue.put({"error": "MemoryError", "kind": kwargs["kind"]})
+    except BaseException as exc:  # report, don't hang the parent
+        queue.put({"error": f"{type(exc).__name__}: {exc}", "kind": kwargs["kind"]})
+
+
+def run_cell(
+    kind: str,
+    n: int,
+    avg_degree: float,
+    num_parts: int,
+    seed: int,
+    kernel: str = "incremental",
+    spill_root: str | None = None,
+    shard_size: int | None = None,
+) -> dict:
+    """Run one cell in a fresh subprocess and return its report dict."""
+    spill_dir = None
+    if kind == "sharded":
+        spill_dir = tempfile.mkdtemp(prefix=f"scale-n{n}-", dir=spill_root)
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.SimpleQueue()
+    kwargs = {
+        "kind": kind,
+        "n": n,
+        "avg_degree": avg_degree,
+        "num_parts": num_parts,
+        "seed": seed,
+        "kernel": kernel,
+        "spill_dir": spill_dir,
+        "shard_size": shard_size,
+    }
+    proc = ctx.Process(target=_cell_entry, args=(queue, kwargs))
+    proc.start()
+    proc.join()
+    try:
+        if not queue.empty():
+            result = queue.get()
+        else:
+            result = {
+                "error": f"cell process died (exit code {proc.exitcode})",
+                "kind": kind,
+            }
+    finally:
+        if spill_dir is not None:
+            shutil.rmtree(spill_dir, ignore_errors=True)
+    return result
+
+
+def parity_control(seed: int = 1, *, n: int = 4096, num_parts: int = 6) -> dict:
+    """Small in-process control: every partitioner must be bit-identical
+    on the dense graph and its spilled twin."""
+    from repro.graph import social_graph, spill_csr
+    from repro.partition import get_partitioner
+
+    dense = social_graph(n, 12.0, 2.3, rng=seed)
+    tmp = tempfile.mkdtemp(prefix="scale-parity-")
+    try:
+        sharded = spill_csr(dense, tmp, shard_size=max(256, n // 8))
+        outcome = {}
+        for algo in PARITY_ALGOS:
+            a = get_partitioner(algo, seed=seed).partition(dense, num_parts)
+            b = get_partitioner(algo, seed=seed).partition(sharded, num_parts)
+            outcome[algo] = bool(
+                np.array_equal(a.assignment.parts, b.assignment.parts)
+            )
+        return outcome
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _append_entry(path: Path, entry: dict) -> None:
+    payload = {"entries": []}
+    if path.is_file():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    payload.setdefault("entries", []).append(entry)
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench scale",
+        description="Out-of-core scale sweep: peak RSS and vertices/sec "
+        "per (representation, kernel) cell, each in a fresh subprocess.",
+    )
+    p.add_argument(
+        "--scales",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_EXPONENTS),
+        metavar="EXP",
+        help="log2 vertex counts to sweep (default: 17 … 21)",
+    )
+    p.add_argument("--avg-degree", type=float, default=DEFAULT_AVG_DEGREE)
+    p.add_argument("--parts", type=int, default=DEFAULT_PARTS)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--mode",
+        choices=["all", "sharded", "dense"],
+        default="all",
+        help="which representations to run ('sharded' lets CI sweep under "
+        "a ulimit -v cap a dense build would blow through)",
+    )
+    p.add_argument(
+        "--demo",
+        action="store_true",
+        help="acceptance demo: 2^20 vertices at d̄=32 (≈16.8M edges), "
+        f"asserting sharded peak RSS < {DEMO_RSS_BOUND:.0%} of dense",
+    )
+    p.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="vertices per shard for the sharded cells (default: 2^17; "
+        "smaller shards shrink the finalize-time bucket sort, which "
+        "dominates the sharded peak at small vertex counts)",
+    )
+    p.add_argument(
+        "--spill-root",
+        default=None,
+        help="directory for the sweep's transient shard dirs (default: $TMPDIR)",
+    )
+    p.add_argument(
+        "--record",
+        action="store_true",
+        help="append results to BENCH_hotpaths.json / BENCH_suite.json "
+        "in the current directory",
+    )
+    return p
+
+
+def _fmt(cell: dict) -> str:
+    if "error" in cell:
+        return f"    {cell['kind']:>8s}: FAILED — {cell['error']}"
+    return (
+        f"    {cell['kind']:>8s}/{cell['kernel']:<12s} "
+        f"rss={cell['peak_rss_mb']:8.1f}MB  csr={cell['csr_mb']:7.1f}MB  "
+        f"build={cell['build_seconds']:6.2f}s  "
+        f"part={cell['partition_seconds']:6.2f}s  "
+        f"{cell['vertices_per_sec']:>9,d} v/s  parts={cell['checksum']}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    status = 0
+
+    parity = parity_control(args.seed)
+    ok = all(parity.values())
+    print(f"parity control (n=4096, 5 partitioners, dense vs sharded): "
+          f"{'all identical' if ok else f'MISMATCH {parity}'}")
+    if not ok:
+        status = 1
+
+    sweep_cells: list[dict] = []
+    for exp in args.scales:
+        n = 1 << exp
+        print(f"n = 2^{exp} = {n:,} (d̄≈{args.avg_degree:g}, k={args.parts})")
+        cells: list[dict] = []
+        if args.mode in ("all", "dense"):
+            for kernel in DENSE_KERNELS:
+                cells.append(
+                    run_cell(
+                        "dense", n, args.avg_degree, args.parts, args.seed,
+                        kernel=kernel,
+                    )
+                )
+        if args.mode in ("all", "sharded"):
+            cells.append(
+                run_cell(
+                    "sharded", n, args.avg_degree, args.parts, args.seed,
+                    spill_root=args.spill_root, shard_size=args.shard_size,
+                )
+            )
+        for cell in cells:
+            cell["scale_exp"] = exp
+            print(_fmt(cell))
+            if "error" in cell:
+                status = 1
+        sweep_cells.extend(cells)
+
+    demo_cells: list[dict] = []
+    demo_ratio = None
+    if args.demo:
+        n, deg = 1 << 20, 32.0
+        print(f"demo: n = {n:,}, d̄≈{deg:g} (≈{int(n * deg / 2):,} edges)")
+        dense = run_cell("dense", n, deg, args.parts, args.seed, kernel="incremental")
+        # 2^15-vertex shards: the sharded peak is one bucket's
+        # sort working set at finalize, and the default 2^17 shard
+        # size leaves only 8 jumbo buckets at this vertex count.
+        sharded = run_cell(
+            "sharded", n, deg, args.parts, args.seed,
+            spill_root=args.spill_root,
+            shard_size=args.shard_size or (1 << 15),
+        )
+        for cell in (dense, sharded):
+            print(_fmt(cell))
+        demo_cells = [dense, sharded]
+        if "error" in dense or "error" in sharded:
+            status = 1
+        else:
+            demo_ratio = sharded["peak_rss_mb"] / dense["peak_rss_mb"]
+            same = dense["checksum"] == sharded["checksum"]
+            print(
+                f"demo: sharded/dense peak RSS = {demo_ratio:.3f} "
+                f"(bound {DEMO_RSS_BOUND}), assignments "
+                f"{'identical' if same else 'DIFFER'}"
+            )
+            if demo_ratio >= DEMO_RSS_BOUND or not same:
+                status = 1
+
+    if args.record:
+        import platform
+
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S+00:00", time.gmtime())
+        _append_entry(
+            Path("BENCH_hotpaths.json"),
+            {
+                "timestamp": stamp,
+                "workload": {
+                    "bench": "scale_sweep",
+                    "graph": "social_edge_batches/social_graph(2.3)",
+                    "avg_degree": args.avg_degree,
+                    "num_parts": args.parts,
+                    "seed": args.seed,
+                },
+                "cells": sweep_cells + demo_cells,
+                "parity_control": parity,
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+        )
+        entry = {
+            "timestamp": stamp,
+            "workload": "repro-bench scale",
+            "scales": [f"2^{e}" for e in args.scales],
+            "mode": args.mode,
+            "parity_control_identical": ok,
+            "python": platform.python_version(),
+        }
+        if demo_ratio is not None:
+            entry["demo_rss_ratio"] = round(demo_ratio, 3)
+            entry["demo_rss_bound"] = DEMO_RSS_BOUND
+        _append_entry(Path("BENCH_suite.json"), entry)
+        print("recorded to BENCH_hotpaths.json / BENCH_suite.json")
+
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

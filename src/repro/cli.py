@@ -38,7 +38,16 @@ from repro.bench.harness import (
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("bench", "partition", "info", "validate", "faults", "trace", "metrics")
+_SUBCOMMANDS = (
+    "bench",
+    "partition",
+    "info",
+    "validate",
+    "faults",
+    "trace",
+    "metrics",
+    "scale",
+)
 
 
 def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
@@ -597,6 +606,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(rest)
     if cmd == "metrics":
         return _run_metrics(rest)
+    if cmd == "scale":
+        # Out-of-core scale sweep lives in its own module: it forks
+        # subprocesses per cell and has no use for the shared flags here.
+        from repro.bench.scale import main as scale_main
+
+        return scale_main(rest)
     if cmd == "faults":
         # Shorthand for the fault-recovery experiment: ``repro-bench
         # faults --scale 0.5`` == ``repro-bench bench faults --scale 0.5``.

@@ -131,24 +131,47 @@ class GeminiEngine:
         structs = assignment.derived_cache().get("gemini")
         if structs is None:
             parts = assignment.parts.astype(np.int64)
-            src, dst = graph.edge_array()
-            src_part, dst_part = parts[src], parts[dst]
-            cut = src_part != dst_part
-            # One message per distinct (source machine, target vertex):
-            # mirrors receive a single combined update (aggregate mode).
-            agg_key = src_part[cut] * np.int64(graph.num_vertices) + dst[cut]
+            n = np.int64(graph.num_vertices)
+            # Walk the adjacency one block at a time (dense graphs yield a
+            # single zero-copy block) so sharded graphs never materialise
+            # the full edge array; blocks ascend, so concatenating the
+            # per-block cut arrays reproduces the edge_array order.
+            cut_src_chunks, cut_sp_chunks, cut_dp_chunks = [], [], []
+            agg_chunks, mirror_chunks = [], []
+            for start, stop, local, idx in graph.iter_blocks():
+                src = np.repeat(
+                    np.arange(start, stop, dtype=np.int64), np.diff(local)
+                )
+                dst = idx.astype(np.int64, copy=False)
+                src_part, dst_part = parts[src], parts[dst]
+                cut = src_part != dst_part
+                cut_src_chunks.append(src[cut])
+                cut_sp_chunks.append(src_part[cut])
+                cut_dp_chunks.append(dst_part[cut])
+                # One message per distinct (source machine, target vertex):
+                # mirrors receive a single combined update (aggregate mode).
+                agg_chunks.append(src_part[cut] * n + dst[cut])
+                mirror_chunks.append(dst_part[cut] * n + src[cut])
+            empty = np.empty(0, dtype=np.int64)
+            cut_src_vertex = np.concatenate(cut_src_chunks) if cut_src_chunks else empty
             # Pull-mode fixed structures: compute covers every local arc,
             # and the traffic is the mirror set — one fetch per distinct
             # (consumer machine, remote neighbour vertex) pair/iteration.
-            mirror_key = np.unique(dst_part[cut] * np.int64(graph.num_vertices) + src[cut])
+            mirror_key = (
+                np.unique(np.concatenate(mirror_chunks)) if mirror_chunks else empty
+            )
             mirror_consumer = (mirror_key // graph.num_vertices).astype(np.int64)
             mirror_owner = parts[(mirror_key % graph.num_vertices).astype(np.int64)]
             structs = {
                 "parts": parts,
-                "cut_src_vertex": src[cut],
-                "cut_src_part": src_part[cut],
-                "cut_dst_part": dst_part[cut],
-                "agg_key": agg_key,
+                "cut_src_vertex": cut_src_vertex,
+                "cut_src_part": (
+                    np.concatenate(cut_sp_chunks) if cut_sp_chunks else empty
+                ),
+                "cut_dst_part": (
+                    np.concatenate(cut_dp_chunks) if cut_dp_chunks else empty
+                ),
+                "agg_key": np.concatenate(agg_chunks) if agg_chunks else empty,
                 "all_edges_per_m": np.bincount(
                     parts, weights=degrees.astype(np.float64), minlength=m
                 ),

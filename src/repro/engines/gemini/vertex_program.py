@@ -35,10 +35,15 @@ def neighbor_sum(graph: CSRGraph, values: np.ndarray, *, default: float = 0.0) -
     out = np.full(n, default, dtype=np.float64)
     if graph.num_edges == 0:
         return out
-    gathered = values[graph.indices]
-    nonzero = graph.degrees > 0
-    starts = graph.indptr[:-1][nonzero]
-    out[nonzero] = np.add.reduceat(gathered, starts)
+    # Blockwise so sharded graphs reduce one mapped shard at a time;
+    # dense graphs yield a single zero-copy block (the old global path).
+    for start, stop, local, idx in graph.iter_blocks():
+        gathered = values[idx]
+        nonzero = np.diff(local) > 0
+        if not nonzero.any():
+            continue
+        starts = local[:-1][nonzero]
+        out[start:stop][nonzero] = np.add.reduceat(gathered, starts)
     return out
 
 
@@ -48,10 +53,13 @@ def neighbor_min(graph: CSRGraph, values: np.ndarray, *, default: float = np.inf
     out = np.full(n, default, dtype=np.float64)
     if graph.num_edges == 0:
         return out
-    gathered = values[graph.indices].astype(np.float64)
-    nonzero = graph.degrees > 0
-    starts = graph.indptr[:-1][nonzero]
-    out[nonzero] = np.minimum.reduceat(gathered, starts)
+    for start, stop, local, idx in graph.iter_blocks():
+        gathered = values[idx].astype(np.float64)
+        nonzero = np.diff(local) > 0
+        if not nonzero.any():
+            continue
+        starts = local[:-1][nonzero]
+        out[start:stop][nonzero] = np.minimum.reduceat(gathered, starts)
     return out
 
 

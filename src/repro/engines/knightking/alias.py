@@ -131,6 +131,6 @@ class VertexAliasIndex:
         slots[dead] = 0
         accept = rng.random(pos.size) < self.prob[slots]
         chosen = np.where(accept, slots, self.alias[slots])
-        targets = graph.indices[chosen].astype(np.int64) if graph.num_edges else pos.copy()
+        targets = graph.take_arcs(chosen).astype(np.int64) if graph.num_edges else pos.copy()
         targets[dead] = pos[dead]
         return targets, dead

@@ -34,7 +34,8 @@ def uniform_neighbor(
     # Dead-end walkers may sit at the last vertex, where indptr[pos]
     # already equals m — point their slot at 0 and overwrite below.
     slots[dead] = 0
-    targets = graph.indices[slots].astype(np.int64) if graph.num_edges else pos.copy()
+    # take_arcs == indices[slots], but shard-aware for out-of-core graphs.
+    targets = graph.take_arcs(slots).astype(np.int64) if graph.num_edges else pos.copy()
     targets[dead] = pos[dead]
     return targets, dead
 
@@ -51,7 +52,7 @@ def arcs_exist(graph: CSRGraph, sources: np.ndarray, targets: np.ndarray) -> np.
         return np.zeros(src.size, dtype=bool)
     lo = graph.indptr[src].copy()
     hi = graph.indptr[src + 1].copy()
-    indices = graph.indices
+    num_arcs = graph.num_edges
     # Invariant: the answer slot, if any, is in [lo, hi).
     while True:
         open_mask = lo < hi
@@ -60,7 +61,9 @@ def arcs_exist(graph: CSRGraph, sources: np.ndarray, targets: np.ndarray) -> np.
         mid = (lo + hi) // 2
         # Only compare where the range is still open; closed ranges keep
         # lo == hi and drop out.
-        vals = np.where(open_mask, indices[np.minimum(mid, indices.size - 1)], 0)
+        vals = np.where(
+            open_mask, graph.take_arcs(np.minimum(mid, num_arcs - 1)), 0
+        )
         go_right = open_mask & (vals < tgt)
         go_left = open_mask & (vals > tgt)
         found = open_mask & (vals == tgt)

@@ -26,16 +26,26 @@ from repro.graph.generators import (
     powerlaw_degrees,
     ring_graph,
     rmat,
+    social_edge_batches,
     social_graph,
     star_graph,
 )
 from repro.graph.io import (
     read_edge_list,
+    read_edge_list_sharded,
     read_metis,
+    read_metis_sharded,
     read_npz,
     write_edge_list,
     write_metis,
     write_npz,
+)
+from repro.graph.sharded import (
+    ShardedCSRBuilder,
+    ShardedCSRGraph,
+    default_spill_root,
+    open_sharded,
+    spill_csr,
 )
 from repro.graph.stats import GraphSummary, degree_histogram, powerlaw_exponent, summarize
 from repro.graph.stream import vertex_stream
@@ -70,14 +80,22 @@ __all__ = [
     "powerlaw_degrees",
     "ring_graph",
     "rmat",
+    "social_edge_batches",
     "social_graph",
     "star_graph",
     "read_edge_list",
+    "read_edge_list_sharded",
     "read_metis",
+    "read_metis_sharded",
     "read_npz",
     "write_edge_list",
     "write_metis",
     "write_npz",
+    "ShardedCSRBuilder",
+    "ShardedCSRGraph",
+    "default_spill_root",
+    "open_sharded",
+    "spill_csr",
     "GraphSummary",
     "degree_histogram",
     "powerlaw_exponent",

@@ -23,18 +23,63 @@ multi-million-arc graph allocates nothing (see the hpc-parallel guide:
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import GraphFormatError
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "fingerprint_stream", "FINGERPRINT_CHUNK"]
+
+#: Elements hashed per :func:`fingerprint_stream` update — bounds the
+#: extra memory of fingerprinting to one int64 chunk (8 MiB) regardless
+#: of graph size.
+FINGERPRINT_CHUNK = 1 << 20
 
 
 def _index_dtype(num_vertices: int) -> np.dtype:
     """Smallest integer dtype able to index ``num_vertices`` vertices."""
     return np.dtype(np.int32) if num_vertices <= np.iinfo(np.int32).max else np.dtype(np.int64)
+
+
+def _hash_as_int64(h, array: np.ndarray, chunk: int = FINGERPRINT_CHUNK) -> None:
+    """Feed ``array`` to ``h`` as int64 bytes, ``O(chunk)`` extra memory.
+
+    Equivalent to ``h.update(ascontiguousarray(array, int64).tobytes())``
+    but never materialises more than one chunk: already-int64 contiguous
+    slices are hashed through a zero-copy memoryview, everything else is
+    cast chunk by chunk.
+    """
+    for start in range(0, array.size, chunk):
+        block = array[start : start + chunk]
+        if block.dtype != np.int64 or not block.flags["C_CONTIGUOUS"]:
+            block = np.ascontiguousarray(block, dtype=np.int64)
+        h.update(memoryview(block))
+
+
+def fingerprint_stream(
+    directed: bool,
+    num_vertices: int,
+    indptr_chunks: Iterable[np.ndarray],
+    indices_chunks: Iterable[np.ndarray],
+) -> str:
+    """Content hash of a CSR structure delivered as array chunks.
+
+    The digest is byte-identical to hashing the concatenated global
+    ``indptr`` followed by ``indices`` (as int64), so every graph
+    representation — dense :class:`CSRGraph`, memory-mapped shards —
+    that describes the same adjacency produces the same fingerprint and
+    shares artifact-cache entries.
+    """
+    h = hashlib.sha256()
+    h.update(b"csr-v1:")
+    h.update(b"directed" if directed else b"undirected")
+    h.update(np.int64(num_vertices).tobytes())
+    for block in indptr_chunks:
+        _hash_as_int64(h, block)
+    for block in indices_chunks:
+        _hash_as_int64(h, block)
+    return h.hexdigest()
 
 
 class CSRGraph:
@@ -161,13 +206,12 @@ class CSRGraph:
         once, then cached on the instance (the arrays are frozen).
         """
         if self._fingerprint is None:
-            h = hashlib.sha256()
-            h.update(b"csr-v1:")
-            h.update(b"directed" if self._directed else b"undirected")
-            h.update(np.int64(self.num_vertices).tobytes())
-            h.update(self._indptr.tobytes())
-            h.update(np.ascontiguousarray(self._indices, dtype=np.int64).tobytes())
-            self._fingerprint = h.hexdigest()
+            # Chunked hashing: tobytes() + an int64 cast of indices would
+            # transiently duplicate the whole edge array (3× peak on
+            # int32 graphs); fingerprint_stream is O(chunk) extra memory.
+            self._fingerprint = fingerprint_stream(
+                self._directed, self.num_vertices, (self._indptr,), (self._indices,)
+            )
         return self._fingerprint
 
     # ------------------------------------------------------------------
@@ -203,6 +247,46 @@ class CSRGraph:
         nbrs = self.neighbors(u)
         i = int(np.searchsorted(nbrs, v))
         return i < nbrs.size and nbrs[i] == v
+
+    def take_arcs(self, slots: np.ndarray) -> np.ndarray:
+        """Neighbour ids at global arc slots — ``indices[slots]``.
+
+        The representation-neutral arc gather: walker engines address
+        arcs by flat CSR slot, and this method is what
+        :class:`~repro.graph.sharded.ShardedCSRGraph` overrides to serve
+        the same slots from memory-mapped shards.
+        """
+        return self._indices[slots]
+
+    def iter_blocks(
+        self, block_size: int | None = None
+    ) -> Iterator[tuple[int, int, np.ndarray, np.ndarray]]:
+        """Yield ``(start, stop, local_indptr, indices_view)`` blocks.
+
+        The blockwise scan contract shared with
+        :class:`~repro.graph.sharded.ShardedCSRGraph`: vertices
+        ``start ≤ v < stop`` have their neighbours in
+        ``indices_view[local_indptr[v - start] : local_indptr[v - start + 1]]``.
+        ``local_indptr`` has length ``stop - start + 1`` and starts at 0.
+
+        For the in-RAM representation the default (no ``block_size``) is
+        a single block built entirely from zero-copy views, so blockwise
+        consumers pay nothing on dense graphs.
+        """
+        n = self.num_vertices
+        if n == 0:
+            return
+        if block_size is None or block_size >= n:
+            # indptr[0] == 0, so the global array is a valid local one.
+            yield 0, n, self._indptr, self._indices
+            return
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        for start in range(0, n, block_size):
+            stop = min(start + block_size, n)
+            base = int(self._indptr[start])
+            local = self._indptr[start : stop + 1] - base
+            yield start, stop, local, self._indices[base : base + int(local[-1])]
 
     # ------------------------------------------------------------------
     # Derived graphs

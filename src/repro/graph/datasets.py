@@ -23,22 +23,46 @@ the runtime budget is hit.
 
 from __future__ import annotations
 
+import os
+import shutil
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import social_graph
+from repro.graph.generators import social_edge_batches, social_graph
 from repro.utils.validation import check_positive
 
 __all__ = [
     "DatasetSpec",
     "DATASETS",
+    "DEFAULT_SPILL_THRESHOLD",
     "load_dataset",
     "clear_dataset_cache",
+    "spill_threshold",
     "livejournal_like",
     "twitter_like",
     "friendster_like",
 ]
+
+#: Arc-count ceiling for in-RAM dataset builds. ``from_edges`` holds
+#: several int64 copies of the symmetrised arc list while sorting, so a
+#: dense build peaks near 50 bytes/arc — 32 M arcs ≈ 1.6 GB, the most a
+#: "small stand-in" should ever claim. Override with
+#: ``REPRO_SPILL_THRESHOLD`` (a plain integer; 0 disables auto-spill).
+DEFAULT_SPILL_THRESHOLD = 32_000_000
+
+
+def spill_threshold() -> int:
+    """Arc count above which :meth:`DatasetSpec.generate` spills to a
+    sharded on-disk build. 0 means never spill."""
+    raw = os.environ.get("REPRO_SPILL_THRESHOLD", "").strip()
+    if not raw:
+        return DEFAULT_SPILL_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SPILL_THRESHOLD
+    return max(value, 0)
 
 
 @dataclass(frozen=True)
@@ -64,12 +88,52 @@ class DatasetSpec:
     locality: float
 
     def generate(self, scale: float = 1.0, seed: int = 0) -> CSRGraph:
-        """Materialise the stand-in graph at the requested scale."""
+        """Materialise the stand-in graph at the requested scale.
+
+        Builds above :func:`spill_threshold` expected arcs go through the
+        streaming sampler + :class:`~repro.graph.sharded.ShardedCSRBuilder`
+        into a shard directory (reused across runs when already present
+        and valid) and come back as a
+        :class:`~repro.graph.sharded.ShardedCSRGraph` — same read API,
+        bounded memory.
+        """
         check_positive("scale", scale)
         n = max(64, int(round(self.base_vertices * scale)))
+        threshold = spill_threshold()
+        if threshold and n * self.avg_degree > threshold:
+            return self._generate_sharded(n, seed)
         return social_graph(
             n, self.avg_degree, self.exponent, locality=self.locality, rng=seed
         )
+
+    def _generate_sharded(self, n: int, seed: int):
+        from repro.errors import GraphFormatError
+        from repro.graph.sharded import (
+            ShardedCSRBuilder,
+            ShardedCSRGraph,
+            default_spill_root,
+        )
+
+        directory = default_spill_root() / f"{self.name}-n{n}-seed{int(seed)}"
+        if directory.is_dir():
+            try:
+                return ShardedCSRGraph(directory)
+            except GraphFormatError:
+                shutil.rmtree(directory)  # torn or stale build: redo it
+        builder = ShardedCSRBuilder(directory, num_vertices=n)
+        try:
+            for src, dst in social_edge_batches(
+                n,
+                self.avg_degree,
+                self.exponent,
+                locality=self.locality,
+                rng=int(seed),
+            ):
+                builder.add_edges(src, dst)
+            return builder.finalize()
+        except BaseException:
+            builder.abort()
+            raise
 
 
 # Exponents: Twitter's follower graph is the most hub-dominated (γ≈2.1);

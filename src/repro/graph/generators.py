@@ -27,6 +27,7 @@ __all__ = [
     "powerlaw_degrees",
     "chung_lu",
     "social_graph",
+    "social_edge_batches",
     "rmat",
     "barabasi_albert",
     "erdos_renyi",
@@ -161,6 +162,57 @@ def social_graph(
         )
         dst[local] = np.clip(src[local] + offsets, 0, n - 1)
     return from_edges(src, dst, n, directed=False)
+
+
+def social_edge_batches(
+    num_vertices: int,
+    avg_degree: float,
+    exponent: float = 2.5,
+    *,
+    locality: float = 0.2,
+    window_frac: float = 0.02,
+    rng=None,
+    batch_size: int = 1 << 20,
+):
+    """:func:`social_graph`'s edge sampler as a bounded-memory stream.
+
+    Yields ``(src, dst)`` batches of at most ``batch_size`` draws — the
+    same weight sequence, sampling distribution, and locality rewiring,
+    holding only O(n) weights plus one batch in memory. Feed the batches
+    to a :class:`~repro.graph.sharded.ShardedCSRBuilder` to construct
+    graphs larger than RAM.
+
+    Deterministic for a fixed ``(seed, batch_size)``. Note the RNG is
+    consumed per batch, so the realised graph differs from a one-shot
+    :func:`social_graph` call with the same seed (same distribution,
+    different sample) — out-of-core builds are their own dataset family,
+    not a byte-level replay of the in-RAM one.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("avg_degree", avg_degree)
+    check_probability("locality", locality)
+    if not 0.0 < window_frac <= 1.0:
+        raise ConfigurationError(f"window_frac must be in (0, 1], got {window_frac}")
+    check_positive("batch_size", batch_size)
+    rng = as_rng(rng)
+    n = int(num_vertices)
+    w = powerlaw_degrees(n, avg_degree, exponent, order="windows", rng=rng)
+    p = w / w.sum()
+    m = int(round(n * avg_degree / 2 * 1.08))
+    half = max(1, int(round(n * window_frac)))
+    sign = np.array([-1, 1])
+    for begin in range(0, m, int(batch_size)):
+        b = min(int(batch_size), m - begin)
+        src = rng.choice(n, size=b, p=p)
+        dst = rng.choice(n, size=b, p=p)
+        local = rng.random(b) < locality
+        n_local = int(local.sum())
+        if n_local:
+            offsets = rng.integers(1, half + 1, size=n_local) * rng.choice(
+                sign, size=n_local
+            )
+            dst[local] = np.clip(src[local] + offsets, 0, n - 1)
+        yield src, dst
 
 
 def chung_lu(

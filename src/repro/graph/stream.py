@@ -56,7 +56,6 @@ def _traversal_order(graph: CSRGraph, *, depth_first: bool) -> np.ndarray:
     visited = np.zeros(n, dtype=bool)
     out = np.empty(n, dtype=np.int64)
     pos = 0
-    indptr, indices = graph.indptr, graph.indices
     for start in range(n):
         if visited[start]:
             continue
@@ -68,7 +67,9 @@ def _traversal_order(graph: CSRGraph, *, depth_first: bool) -> np.ndarray:
             v = frontier.pop() if depth_first else frontier.popleft()
             out[pos] = v
             pos += 1
-            nbrs = indices[indptr[v] : indptr[v + 1]]
+            # neighbors() rather than a raw indices slice: sharded graphs
+            # serve it from the vertex's shard without a global array.
+            nbrs = graph.neighbors(v)
             new = nbrs[~visited[nbrs]]
             if new.size:
                 # np.unique: a vertex may appear twice in nbrs' unvisited

@@ -60,26 +60,56 @@ def extract_subgraph(graph: CSRGraph, members: np.ndarray) -> Subgraph:
         mask = np.zeros(n, dtype=bool)
         mask[ids] = True
 
+    # Sharded identity extraction (all vertices are members): the induced
+    # graph IS the input — return it without building a dense copy. This
+    # is the path multi-layer combine's first layer takes, which is what
+    # keeps layer 1 of BPart running natively out-of-core.
+    if ids.size == n and getattr(graph, "gather_block", None) is not None:
+        return Subgraph(
+            graph=graph,
+            global_ids=ids,
+            local_of=np.arange(n, dtype=np.int64),
+            num_cut_arcs=0,
+            num_total_arcs=graph.num_edges,
+        )
+
     local_of = np.full(n, -1, dtype=np.int64)
     local_of[ids] = np.arange(ids.size)
 
-    indptr, indices = graph.indptr, graph.indices
-    starts, ends = indptr[ids], indptr[ids + 1]
-    total_arcs = int((ends - starts).sum())
+    # Gather all arcs of the member vertices one block at a time (dense
+    # graphs yield a single zero-copy block), keeping only local targets
+    # for the induced adjacency. Blocks ascend, so kept arcs come out
+    # grouped by source in the same order as a global gather.
+    total_arcs = 0
+    cut_arcs = 0
+    kept_src_chunks: list[np.ndarray] = []
+    kept_dst_chunks: list[np.ndarray] = []
+    for start, stop, local, idx in graph.iter_blocks():
+        a = int(np.searchsorted(ids, start))
+        b = int(np.searchsorted(ids, stop))
+        if a == b:
+            continue
+        off = ids[a:b] - start
+        starts, ends = local[off], local[off + 1]
+        lens = ends - starts
+        block_total = int(lens.sum())
+        total_arcs += block_total
+        if block_total == 0:
+            continue
+        first = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        slots = np.repeat(starts - first, lens) + np.arange(block_total)
+        targets = idx[slots]
+        local_mask = mask[targets]
+        cut_arcs += block_total - int(local_mask.sum())
+        kept_src_chunks.append(np.repeat(np.arange(a, b), lens)[local_mask])
+        kept_dst_chunks.append(local_of[targets[local_mask]])
 
-    # Gather all arcs of the member vertices, then keep only local targets
-    # for the induced adjacency. Vectorised via a flat arc-slot index.
-    slot_ranges = [indices[s:e] for s, e in zip(starts, ends)]
-    if slot_ranges:
-        targets = np.concatenate(slot_ranges) if total_arcs else np.empty(0, indices.dtype)
+    if kept_src_chunks:
+        kept_src = np.concatenate(kept_src_chunks)
+        kept_dst = np.concatenate(kept_dst_chunks)
     else:
-        targets = np.empty(0, indices.dtype)
-    src_local = np.repeat(np.arange(ids.size), (ends - starts))
-    local_mask = mask[targets] if targets.size else np.empty(0, dtype=bool)
-    cut_arcs = int(total_arcs - local_mask.sum())
-
-    kept_src = src_local[local_mask]
-    kept_dst = local_of[targets[local_mask]]
+        kept_src = np.empty(0, dtype=np.int64)
+        kept_dst = np.empty(0, dtype=np.int64)
     counts = np.bincount(kept_src, minlength=ids.size)
     new_indptr = np.zeros(ids.size + 1, dtype=np.int64)
     np.cumsum(counts, out=new_indptr[1:])

@@ -94,34 +94,57 @@ def stream_partition(
     if passes < 1:
         raise ValueError(f"passes must be >= 1, got {passes}")
     backend = get_kernel(kernel)
+    # Sharded graphs expose no global indices array; their chunked
+    # gather_block *is* the buffered kernel's gather, so every kernel
+    # choice routes there (all backends are bit-exact — the knob trades
+    # throughput only, so the routing is invisible in the output).
+    gather = getattr(graph, "gather_block", None)
+    effective = "buffered" if gather is not None else backend.name
     w = np.ascontiguousarray(vertex_weights, dtype=np.float64)
     loads = np.zeros(k, dtype=np.float64)
     capacity = slack * w.sum() / k
     stream = vertex_stream(graph, order, rng=rng)
     timer_ctx = (
-        telemetry.active().timer("partition.stream.seconds", kernel=backend.name).time()
+        telemetry.active().timer("partition.stream.seconds", kernel=effective).time()
         if telemetry.enabled()
         else None
     )
     if timer_ctx is not None:
         timer_ctx.__enter__()
-    backend.fennel(
-        graph.indptr,
-        graph.indices,
-        stream,
-        parts,
-        loads,
-        w,
-        alpha=float(alpha),
-        gamma=float(gamma),
-        capacity=float(capacity),
-        passes=int(passes),
-    )
+    if gather is not None:
+        from repro.partition.kernels.buffered import fennel_buffered
+
+        fennel_buffered(
+            None,
+            None,
+            stream,
+            parts,
+            loads,
+            w,
+            alpha=float(alpha),
+            gamma=float(gamma),
+            capacity=float(capacity),
+            passes=int(passes),
+            gather=gather,
+        )
+    else:
+        backend.fennel(
+            graph.indptr,
+            graph.indices,
+            stream,
+            parts,
+            loads,
+            w,
+            alpha=float(alpha),
+            gamma=float(gamma),
+            capacity=float(capacity),
+            passes=int(passes),
+        )
     if timer_ctx is not None:
         timer_ctx.__exit__(None, None, None)
         # Aggregates only, recorded after the kernel: the per-vertex hot
         # loop stays untouched, so disabled-mode cost is one flag read.
         reg = telemetry.active()
-        reg.counter("partition.stream.vertices", kernel=backend.name).inc(n * passes)
+        reg.counter("partition.stream.vertices", kernel=effective).inc(n * passes)
         reg.gauge("partition.stream.saturated_parts").set(int((loads >= capacity).sum()))
     return parts

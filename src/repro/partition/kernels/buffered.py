@@ -39,22 +39,39 @@ DEFAULT_CHUNK = 256
 _NEG_INF = float("-inf")
 
 
-def _chunk_overlap(indptr, indices, parts, posmap, chunk, k):
+def _dense_gather(indptr, indices):
+    """Adjacency gather over in-RAM CSR arrays: the native path for
+    :class:`~repro.graph.csr.CSRGraph`. Sharded graphs supply their own
+    shard-grouped equivalent (``ShardedCSRGraph.gather_block``)."""
+
+    def gather(chunk):
+        lens = indptr[chunk + 1] - indptr[chunk]
+        total = int(lens.sum())
+        if total == 0:
+            return lens, indices[:0]
+        first = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        slots = np.repeat(indptr[chunk] - first, lens) + np.arange(total)
+        return lens, indices[slots]
+
+    return gather
+
+
+def _chunk_overlap(gather, parts, posmap, chunk, k):
     """Vectorised snapshot overlap + intra-chunk pull lists for one chunk.
 
-    Returns ``(overlap, pulls, num_assigned)`` where ``overlap[i][p]``
-    counts ``chunk[i]``'s neighbours assigned to part ``p`` as of the
-    chunk boundary, ``pulls[i]`` lists earlier chunk positions adjacent
-    to ``i`` (or ``None``), and ``num_assigned[i]`` is the row sum.
+    ``gather(chunk)`` returns ``(lens, nbrs)`` — per-vertex degrees and
+    the concatenated neighbour lists in chunk order; everything else is
+    representation-agnostic. Returns ``(overlap, pulls, num_assigned)``
+    where ``overlap[i][p]`` counts ``chunk[i]``'s neighbours assigned to
+    part ``p`` as of the chunk boundary, ``pulls[i]`` lists earlier
+    chunk positions adjacent to ``i`` (or ``None``), and
+    ``num_assigned[i]`` is the row sum.
     """
     B = chunk.size
-    lens = indptr[chunk + 1] - indptr[chunk]
-    total = int(lens.sum())
+    lens, nbrs = gather(chunk)
+    total = int(np.asarray(lens).sum())
     if total == 0:
         return [[0] * k for _ in range(B)], [None] * B, [0] * B
-    first = np.concatenate(([0], np.cumsum(lens)[:-1]))
-    gather = np.repeat(indptr[chunk] - first, lens) + np.arange(total)
-    nbrs = indices[gather]
     owner = np.repeat(np.arange(B, dtype=np.int64), lens)
     nbr_parts = parts[nbrs]
     valid = nbr_parts >= 0
@@ -89,7 +106,10 @@ def fennel_buffered(
     capacity: float,
     passes: int,
     chunk_size: int = DEFAULT_CHUNK,
+    gather=None,
 ) -> None:
+    if gather is None:
+        gather = _dense_gather(indptr, indices)
     n = parts.shape[0]
     k = loads.shape[0]
     gm1 = gamma - 1.0
@@ -107,7 +127,7 @@ def fennel_buffered(
             chunk = stream[begin : begin + chunk_size]
             B = chunk.size
             posmap[chunk] = np.arange(B)
-            overlap, pulls, _ = _chunk_overlap(indptr, indices, parts, posmap, chunk, k)
+            overlap, pulls, _ = _chunk_overlap(gather, parts, posmap, chunk, k)
             posmap[chunk] = -1
             chunk_l = chunk.tolist()
             snapshot = [parts_l[v] for v in chunk_l]
@@ -175,7 +195,10 @@ def ldg_buffered(
     *,
     capacity: float,
     chunk_size: int = DEFAULT_CHUNK,
+    gather=None,
 ) -> None:
+    if gather is None:
+        gather = _dense_gather(indptr, indices)
     n = parts.shape[0]
     k = loads.shape[0]
     parts_l = parts.tolist()
@@ -189,9 +212,7 @@ def ldg_buffered(
         chunk = stream[begin : begin + chunk_size]
         B = chunk.size
         posmap[chunk] = np.arange(B)
-        overlap, pulls, num_assigned = _chunk_overlap(
-            indptr, indices, parts, posmap, chunk, k
-        )
+        overlap, pulls, num_assigned = _chunk_overlap(gather, parts, posmap, chunk, k)
         posmap[chunk] = -1
         chunk_l = chunk.tolist()
         for i in range(B):

@@ -109,8 +109,14 @@ def edge_cut_ratio(graph: CSRGraph, parts: np.ndarray) -> float:
         raise PartitionError("assignment length != num_vertices")
     if graph.num_edges == 0:
         return 0.0
-    src, dst = graph.edge_array()
-    return float(np.mean(parts[src] != parts[dst]))
+    # Accumulate the cut count one block at a time so sharded graphs
+    # never materialise the full edge array (dense graphs yield a single
+    # zero-copy block, so this is the old edge_array scan there).
+    cut = 0
+    for start, stop, local, idx in graph.iter_blocks():
+        src_parts = np.repeat(parts[start:stop], np.diff(local))
+        cut += int(np.count_nonzero(src_parts != parts[idx]))
+    return cut / graph.num_edges
 
 
 def connectivity_matrix(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> np.ndarray:
@@ -123,9 +129,11 @@ def connectivity_matrix(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> n
     parts = _check_parts(parts, num_parts).astype(np.int64)
     if parts.size != graph.num_vertices:
         raise PartitionError("assignment length != num_vertices")
-    src, dst = graph.edge_array()
-    flat = parts[src] * num_parts + parts[dst]
-    counts = np.bincount(flat, minlength=num_parts * num_parts)
+    counts = np.zeros(num_parts * num_parts, dtype=np.int64)
+    for start, stop, local, idx in graph.iter_blocks():
+        src_parts = np.repeat(parts[start:stop], np.diff(local))
+        flat = src_parts * num_parts + parts[idx]
+        counts += np.bincount(flat, minlength=num_parts * num_parts)
     return counts.reshape(num_parts, num_parts)
 
 

@@ -1,0 +1,321 @@
+"""Out-of-core sharded CSR: builder round-trips, representation parity,
+torn-shard recovery, and the blockwise iteration contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    open_sharded,
+    read_edge_list,
+    read_edge_list_sharded,
+    read_metis,
+    read_metis_sharded,
+    social_edge_batches,
+    social_graph,
+    spill_csr,
+    write_edge_list,
+    write_metis,
+)
+from repro.graph.sharded import META_NAME, ShardedCSRBuilder, _shard_paths
+from repro.partition import available_kernels, get_partitioner
+from repro.partition._streamcore import default_alpha, stream_partition
+
+ALGOS = ("fennel", "bpart", "ldg", "hash", "chunk-v")
+
+
+@pytest.fixture
+def dense():
+    return social_graph(1500, 9.0, 2.3, rng=7)
+
+
+@pytest.fixture
+def sharded(dense, tmp_path):
+    return spill_csr(dense, tmp_path / "shards", shard_size=256)
+
+
+def _random_edges(rng, n, m):
+    r = np.random.default_rng(rng)
+    return r.integers(0, n, size=m), r.integers(0, n, size=m)
+
+
+# ----------------------------------------------------------------------
+# Builder round-trip
+# ----------------------------------------------------------------------
+class TestBuilder:
+    def test_batched_build_matches_from_edges(self, tmp_path):
+        n, m = 3000, 40000
+        src, dst = _random_edges(3, n, m)
+        reference = from_edges(src, dst, n)
+        builder = ShardedCSRBuilder(tmp_path / "b", num_vertices=n, shard_size=400)
+        for lo in range(0, m, 1111):  # deliberately awkward batch size
+            builder.add_edges(src[lo : lo + 1111], dst[lo : lo + 1111])
+        graph = builder.finalize()
+        assert graph.fingerprint() == reference.fingerprint()
+        assert graph.num_edges == reference.num_edges
+        assert graph == reference and reference == graph
+        assert np.array_equal(graph.degrees, reference.degrees)
+        # no bucket temp files survive finalize
+        assert not list((tmp_path / "b").glob("bucket-*.tmp"))
+
+    def test_self_loops_and_duplicates_dropped(self, tmp_path):
+        builder = ShardedCSRBuilder(tmp_path / "b", num_vertices=4, shard_size=2)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 0)  # duplicate after symmetrisation
+        builder.add_edge(2, 2)  # self loop
+        builder.add_edge(2, 3)
+        graph = builder.finalize()
+        assert graph == from_edges([0, 1, 2, 2], [1, 0, 2, 3], 4)
+        assert graph.num_edges == 4  # (0,1),(1,0),(2,3),(3,2)
+
+    def test_inferred_num_vertices(self, tmp_path):
+        builder = ShardedCSRBuilder(tmp_path / "b", shard_size=4)
+        builder.add_edge(0, 9)
+        graph = builder.finalize()
+        assert graph.num_vertices == 10
+
+    def test_rejects_bad_input(self, tmp_path):
+        builder = ShardedCSRBuilder(tmp_path / "b", num_vertices=5)
+        with pytest.raises(GraphFormatError):
+            builder.add_edges([0, 1], [2])
+        with pytest.raises(GraphFormatError):
+            builder.add_edges([-1], [2])
+        with pytest.raises(GraphFormatError):
+            builder.add_edges([0], [5])  # id >= num_vertices
+        builder.finalize()
+        with pytest.raises(GraphFormatError):
+            builder.add_edge(0, 1)
+        with pytest.raises(GraphFormatError):
+            builder.finalize()
+
+    def test_abort_removes_buckets(self, tmp_path):
+        builder = ShardedCSRBuilder(tmp_path / "b", num_vertices=100, shard_size=10)
+        builder.add_edges(*_random_edges(1, 100, 500))
+        assert list((tmp_path / "b").glob("bucket-*.tmp"))
+        builder.abort()
+        assert not list((tmp_path / "b").glob("bucket-*.tmp"))
+
+    def test_empty_graph(self, tmp_path):
+        graph = ShardedCSRBuilder(tmp_path / "b", num_vertices=0).finalize()
+        assert graph.num_vertices == 0 and graph.num_edges == 0
+        assert list(graph.iter_blocks()) == []
+
+
+# ----------------------------------------------------------------------
+# Read-API parity with the dense twin
+# ----------------------------------------------------------------------
+class TestReadParity:
+    def test_fingerprint_and_equality(self, dense, sharded):
+        assert sharded.fingerprint() == dense.fingerprint()
+        assert sharded == dense and dense == sharded
+
+    def test_structure(self, dense, sharded):
+        assert sharded.num_vertices == dense.num_vertices
+        assert sharded.num_edges == dense.num_edges
+        assert sharded.num_undirected_edges == dense.num_undirected_edges
+        assert np.array_equal(sharded.degrees, dense.degrees)
+        assert np.array_equal(sharded.indptr, dense.indptr)
+
+    def test_neighbors_and_has_edge(self, dense, sharded):
+        for v in (0, 255, 256, 511, 1499):
+            assert np.array_equal(sharded.neighbors(v), dense.neighbors(v))
+        u = int(np.argmax(dense.degrees))
+        w = int(dense.neighbors(u)[0])
+        assert sharded.has_edge(u, w) and not sharded.has_edge(u, u)
+        with pytest.raises(IndexError):
+            sharded.neighbors(1500)
+
+    def test_indices_property_raises(self, sharded):
+        with pytest.raises(GraphFormatError):
+            _ = sharded.indices
+
+    def test_iter_blocks_contract(self, dense, sharded):
+        for block_size in (None, 100, 256, 257, 10_000):
+            covered = 0
+            chunks = []
+            for start, stop, local, idx in sharded.iter_blocks(block_size):
+                assert start == covered and stop > start
+                assert local[0] == 0 and local[-1] == idx.size
+                # shard-aligned: a block never spans a shard boundary
+                assert start // 256 == (stop - 1) // 256
+                expect = dense.indices[dense.indptr[start] : dense.indptr[stop]]
+                assert np.array_equal(idx, expect)
+                chunks.append(idx)
+                covered = stop
+            assert covered == sharded.num_vertices
+            assert np.array_equal(np.concatenate(chunks), dense.indices)
+
+    def test_gather_block(self, dense, sharded):
+        rng = np.random.default_rng(11)
+        chunk = rng.permutation(1500)[:600]  # arbitrary order, cross-shard
+        lens, nbrs = sharded.gather_block(chunk)
+        assert np.array_equal(lens, dense.degrees[chunk])
+        expect = np.concatenate([dense.neighbors(int(v)) for v in chunk])
+        assert np.array_equal(nbrs, expect)
+
+    def test_take_arcs(self, dense, sharded):
+        rng = np.random.default_rng(12)
+        slots = rng.integers(0, dense.num_edges, size=(7, 33))
+        assert np.array_equal(sharded.take_arcs(slots), dense.indices[slots])
+
+    def test_iter_edges(self, tmp_path):
+        dense = social_graph(64, 4.0, 2.3, rng=2)
+        sharded = spill_csr(dense, tmp_path / "tiny", shard_size=16)
+        assert list(sharded.iter_edges()) == list(dense.iter_edges())
+
+
+# ----------------------------------------------------------------------
+# Kernel + partitioner parity (the acceptance bit-identity requirement)
+# ----------------------------------------------------------------------
+class TestPartitionParity:
+    def test_all_registered_kernels(self, dense, sharded):
+        weights = np.ones(dense.num_vertices)
+        alpha = default_alpha(dense, 6)
+        for kernel in available_kernels():
+            a = stream_partition(
+                dense, 6, vertex_weights=weights, alpha=alpha, kernel=kernel
+            )
+            b = stream_partition(
+                sharded, 6, vertex_weights=weights, alpha=alpha, kernel=kernel
+            )
+            assert np.array_equal(a, b), f"kernel {kernel!r} diverged"
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_all_partitioners(self, algo, dense, sharded):
+        # Direct calls, not cached_partition: the representations share
+        # fingerprints, so the cache would serve one result for both and
+        # hide any divergence.
+        a = get_partitioner(algo, seed=3).partition(dense, 6)
+        b = get_partitioner(algo, seed=3).partition(sharded, 6)
+        assert np.array_equal(a.assignment.parts, b.assignment.parts)
+
+    def test_metrics_parity(self, dense, sharded):
+        from repro.partition.metrics import connectivity_matrix, edge_cut_ratio
+
+        parts = get_partitioner("fennel", seed=3).partition(dense, 6).assignment.parts
+        assert edge_cut_ratio(sharded, parts) == edge_cut_ratio(dense, parts)
+        assert np.array_equal(
+            connectivity_matrix(sharded, parts, 6),
+            connectivity_matrix(dense, parts, 6),
+        )
+
+
+# ----------------------------------------------------------------------
+# Torn-shard detection and recovery
+# ----------------------------------------------------------------------
+class TestTornShards:
+    def test_corrupt_shard_file_detected(self, sharded, tmp_path):
+        _, indices_path = _shard_paths(sharded.spill_dir, 2)
+        indices_path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(GraphFormatError, match="shard"):
+            open_sharded(sharded.spill_dir)
+
+    def test_truncated_shard_file_detected(self, sharded):
+        _, indices_path = _shard_paths(sharded.spill_dir, 1)
+        data = indices_path.read_bytes()
+        indices_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(GraphFormatError, match="truncated|torn"):
+            open_sharded(sharded.spill_dir)
+
+    def test_missing_meta_is_not_a_graph(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(GraphFormatError, match="missing"):
+            open_sharded(tmp_path / "empty")
+
+    def test_corrupt_meta_detected(self, sharded):
+        (sharded.spill_dir / META_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(GraphFormatError, match="metadata"):
+            open_sharded(sharded.spill_dir)
+
+    def test_interrupted_build_leaves_no_meta(self, tmp_path):
+        builder = ShardedCSRBuilder(tmp_path / "b", num_vertices=50, shard_size=10)
+        builder.add_edges(*_random_edges(4, 50, 200))
+        # simulated crash before finalize: no meta.json was ever written
+        assert not (tmp_path / "b" / META_NAME).exists()
+        with pytest.raises(GraphFormatError):
+            open_sharded(tmp_path / "b")
+
+    def test_dataset_autorebuild_after_torn_spill(self, tmp_path, monkeypatch):
+        from repro.graph.datasets import DATASETS
+
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path / "spill"))
+        monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "1000")
+        spec = DATASETS["livejournal"]
+        graph = spec.generate(scale=0.05, seed=1)
+        assert graph.num_vertices > 0
+        fp = graph.fingerprint()
+        # tear a shard, then reload: the spec detects the damage and rebuilds
+        _, indices_path = _shard_paths(graph.spill_dir, 0)
+        indices_path.write_bytes(b"this is not an npz archive")
+        rebuilt = spec.generate(scale=0.05, seed=1)
+        rebuilt.validate()
+        assert rebuilt.fingerprint() == fp
+
+
+# ----------------------------------------------------------------------
+# Auto-spill + streaming loaders
+# ----------------------------------------------------------------------
+class TestAutoSpillAndIO:
+    def test_dataset_spills_over_threshold(self, tmp_path, monkeypatch):
+        from repro.graph.datasets import DATASETS
+        from repro.graph.sharded import ShardedCSRGraph
+
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path / "spill"))
+        monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "1000")
+        graph = DATASETS["livejournal"].generate(scale=0.05, seed=2)
+        assert isinstance(graph, ShardedCSRGraph)
+        # reopening reuses the existing spill directory
+        again = DATASETS["livejournal"].generate(scale=0.05, seed=2)
+        assert again.spill_dir == graph.spill_dir
+        assert again.fingerprint() == graph.fingerprint()
+
+    def test_dataset_stays_dense_below_threshold(self, tmp_path, monkeypatch):
+        from repro.graph.csr import CSRGraph
+        from repro.graph.datasets import DATASETS
+
+        monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "0")  # disables auto-spill
+        graph = DATASETS["livejournal"].generate(scale=0.05, seed=2)
+        assert isinstance(graph, CSRGraph)
+
+    def test_edge_list_streaming_parity(self, dense, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(dense, path)
+        a = read_edge_list(path)
+        b = read_edge_list_sharded(path, tmp_path / "el-shards", shard_size=300)
+        assert b.fingerprint() == a.fingerprint() == dense.fingerprint()
+
+    def test_metis_streaming_parity(self, dense, tmp_path):
+        path = tmp_path / "graph.metis"
+        write_metis(dense, path)
+        a = read_metis(path)
+        b = read_metis_sharded(path, tmp_path / "metis-shards", shard_size=300)
+        assert b.fingerprint() == a.fingerprint() == dense.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+class TestShardedTelemetry:
+    def test_counters_recorded_when_enabled(self, dense, tmp_path):
+        telemetry.set_enabled(True)
+        telemetry.reset()
+        sharded = spill_csr(dense, tmp_path / "t", shard_size=256)
+        for _ in sharded.iter_blocks():
+            pass
+        snap = telemetry.registry().snapshot()
+        counters = snap["counters"]
+        assert counters["graph.sharded.spill_writes"] > 0
+        assert counters["graph.sharded.bytes_mapped"] > 0
+        assert counters["graph.sharded.block_reads"] == sharded.num_shards
+
+    def test_silent_when_disabled(self, dense, tmp_path):
+        assert not telemetry.enabled()
+        sharded = spill_csr(dense, tmp_path / "t", shard_size=256)
+        for _ in sharded.iter_blocks():
+            pass
+        sharded.gather_block(np.arange(100))
+        assert telemetry.registry().metrics() == []

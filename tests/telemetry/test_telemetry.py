@@ -148,12 +148,21 @@ class TestDisabledMode:
         assert snap["counters"] == {}
         assert snap["nondeterministic"] == {"timers": {}, "spans": []}
 
-    def test_instrumented_code_records_nothing_when_disabled(self):
+    def test_instrumented_code_records_nothing_when_disabled(self, tmp_path):
         from repro.cluster.ledger import TimingLedger
+        from repro.graph import social_graph, spill_csr
 
         ledger = TimingLedger(2)
         ledger.record(np.array([1.0, 2.0]), np.array([0.1, 0.2]))
         ledger.add_event("crash", machine=1)
+        # the sharded graph paths (spill_writes / bytes_mapped /
+        # block_reads) must be equally silent
+        sharded = spill_csr(
+            social_graph(200, 4.0, 2.3, rng=1), tmp_path / "s", shard_size=64
+        )
+        for _ in sharded.iter_blocks():
+            pass
+        sharded.gather_block(np.arange(50))
         assert telemetry.registry().metrics() == []
 
 

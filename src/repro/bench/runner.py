@@ -151,7 +151,14 @@ def _worker_loop(conn) -> None:
     exceptions crash the worker — exercising the parent's worker-death
     recovery, exactly like a real interpreter-level failure would.
     """
+    import os
+
     from repro.resilience.chaos import maybe_inject
+
+    # Suite workers are already the fan-out level: engines and kernels
+    # inside them must not nest their own pools (oversubscription and
+    # pipe-buffer deadlock risk), so resolve_jobs() answers 1 here.
+    os.environ.setdefault("REPRO_PARALLEL_CHILD", "1")
 
     while True:
         task = conn.recv()

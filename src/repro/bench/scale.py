@@ -23,8 +23,20 @@ graph is spilled with :func:`~repro.graph.sharded.spill_csr` and all
 five partitioners must produce bit-identical assignments on both
 representations. ``--demo`` runs the acceptance workload (2^20
 vertices, d̄ = 32 → ≈ 16.8 M edges) and asserts the sharded peak stays
-under 40 % of the dense peak. ``--record`` appends the results to
-``BENCH_hotpaths.json`` / ``BENCH_suite.json``.
+under 40 % of the dense peak. ``--cores 1 2 4`` sweeps the parallel
+kernel's worker count on one dense cell and records the speedup curve
+against the jobs=1 buffered baseline. ``--demo-oom`` runs the
+larger-than-RAM demonstration: a graph whose dense CSR exceeds a hard
+``RLIMIT_AS`` budget — the dense control cell must die of
+``MemoryError`` while the sharded build (parallel finalize) and
+partition complete inside the same budget. ``--record`` appends the
+results to ``BENCH_hotpaths.json`` / ``BENCH_suite.json``.
+
+Cell subprocesses are hermetic: the parent snapshots the repro
+environment knobs (cache dir, spill dir, chaos plan, telemetry, jobs)
+and re-applies them in the child before any repro import, so a sweep
+behaves the same whether those knobs arrived via the environment or
+were set programmatically in the parent.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ import argparse
 import hashlib
 import json
 import multiprocessing
+import os
 import shutil
 import sys
 import tempfile
@@ -51,6 +64,37 @@ PARITY_ALGOS = ("fennel", "bpart", "ldg", "hash", "chunk-v")
 
 #: Acceptance bound: sharded peak RSS / dense peak RSS on the demo cell.
 DEMO_RSS_BOUND = 0.40
+
+#: Environment knobs re-applied inside every cell subprocess, mirroring
+#: how bench/runner.py keeps its workers hermetic: same cache, same
+#: spill root, same chaos plan, same telemetry switch.
+_PROPAGATED_ENV = (
+    "REPRO_CACHE_DIR",
+    "REPRO_NO_CACHE",
+    "REPRO_SPILL_DIR",
+    "REPRO_CHAOS",
+    "REPRO_TELEMETRY",
+    "REPRO_JOBS",
+)
+
+#: >RAM demonstration shape: the dense CSR (indptr int64 + indices
+#: int32 ≈ 8n + 4·n·d̄ bytes ≈ 209 MB) does not fit the address-space
+#: budget, while one finalize bucket + mapped shards do.
+OOM_DEMO_VERTICES = 1 << 20
+OOM_DEMO_DEGREE = 96.0
+OOM_DEMO_BUDGET_MB = 352
+#: 2^11-vertex shards keep the power-law hub shard's mapping (and its
+#: finalize bucket) a small fraction of the graph; more shards would
+#: exceed common open-fd limits, since the builder keeps one bucket
+#: file handle per shard.
+OOM_DEMO_SHARD = 1 << 11
+#: Draws per generator batch in the demo — small enough that the batch
+#: temporaries (sample + symmetrize + bucket sort) fit the budget.
+OOM_DEMO_BATCH = 1 << 18
+
+
+def _env_snapshot() -> dict:
+    return {key: os.environ[key] for key in _PROPAGATED_ENV if key in os.environ}
 
 
 def _checksum(parts: np.ndarray) -> str:
@@ -73,17 +117,31 @@ def _run_cell(
     kernel: str,
     spill_dir: str | None,
     shard_size: int | None,
+    jobs: int | None = None,
+    mem_cap_mb: int | None = None,
+    batch_size: int | None = None,
 ) -> dict:
     """Build + partition one cell; runs inside the child process."""
+    if mem_cap_mb is not None:
+        import resource
+
+        cap = int(mem_cap_mb) * 2**20
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+
     from repro.graph import from_edges, social_edge_batches
     from repro.graph.sharded import DEFAULT_SHARD_SIZE, ShardedCSRBuilder
     from repro.partition._streamcore import default_alpha, stream_partition
 
     # Both representations consume the *same* batched edge stream, so
     # the resulting CSRs are arc-for-arc identical and the assignment
-    # checksums must match across cells at every scale.
+    # checksums must match across cells at every scale. (The realised
+    # sample depends on batch_size, so cells compared by checksum must
+    # share it; the >RAM demo shrinks it to keep batch temporaries
+    # inside the RLIMIT_AS budget.)
     t0 = time.perf_counter()
-    batches = social_edge_batches(n, avg_degree, 2.3, rng=seed)
+    batches = social_edge_batches(
+        n, avg_degree, 2.3, rng=seed, batch_size=batch_size or (1 << 20)
+    )
     if kind == "dense":
         chunks = [np.stack([s, d]) for s, d in batches]
         graph = from_edges(
@@ -98,7 +156,16 @@ def _run_cell(
         )
         for src, dst in batches:
             builder.add_edges(src, dst)
-        graph = builder.finalize()
+        graph = builder.finalize(jobs=jobs)
+        if mem_cap_mb is not None:
+            # Streaming passes never revisit a shard before the next
+            # pass, so a deep LRU only pins dead mappings — and under
+            # RLIMIT_AS mapped hub shards are budget spent. Reopen
+            # with the minimum useful depth.
+            from repro.graph import open_sharded
+
+            del graph
+            graph = open_sharded(spill_dir, max_open_shards=2)
     build_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -108,18 +175,26 @@ def _run_cell(
         vertex_weights=np.ones(graph.num_vertices),
         alpha=default_alpha(graph, num_parts),
         kernel=kernel,
+        jobs=jobs,
     )
     partition_s = time.perf_counter() - t0
     # What a dense CSR of this graph occupies: the denominator of the
     # "well under dense RAM" claim (indptr int64 + indices int32).
     csr_mb = ((n + 1) * 8 + graph.num_edges * 4) / 2**20
-    return {
+    if kernel == "parallel" or (kernel == "auto" and (jobs or 1) > 1):
+        effective_kernel = "parallel"
+    elif kind == "dense":
+        effective_kernel = kernel
+    else:
+        effective_kernel = "buffered"
+    report = {
         "kind": kind,
-        "kernel": kernel if kind == "dense" else "buffered",
+        "kernel": effective_kernel,
         "num_vertices": n,
         "num_arcs": int(graph.num_edges),
         "num_parts": num_parts,
         "seed": seed,
+        "jobs": jobs or 1,
         "build_seconds": round(build_s, 3),
         "partition_seconds": round(partition_s, 3),
         "vertices_per_sec": round(n / partition_s) if partition_s > 0 else None,
@@ -127,9 +202,16 @@ def _run_cell(
         "csr_mb": round(csr_mb, 1),
         "checksum": _checksum(parts),
     }
+    if mem_cap_mb is not None:
+        report["mem_cap_mb"] = int(mem_cap_mb)
+    return report
 
 
-def _cell_entry(queue, kwargs: dict) -> None:  # pragma: no cover - child process
+def _cell_entry(queue, kwargs: dict, env: dict | None = None) -> None:  # pragma: no cover
+    # Re-apply the parent's repro knobs before the first repro import,
+    # so module-level env reads (cache dir, telemetry, chaos) see them.
+    for key, value in (env or {}).items():
+        os.environ[key] = value
     try:
         queue.put(_run_cell(**kwargs))
     except MemoryError:
@@ -147,10 +229,27 @@ def run_cell(
     kernel: str = "incremental",
     spill_root: str | None = None,
     shard_size: int | None = None,
+    jobs: int | None = None,
+    mem_cap_mb: int | None = None,
+    batch_size: int | None = None,
 ) -> dict:
-    """Run one cell in a fresh subprocess and return its report dict."""
+    """Run one cell in a fresh subprocess and return its report dict.
+
+    ``jobs`` feeds both the builder's parallel finalize and the
+    partition stream; ``mem_cap_mb`` applies a hard ``RLIMIT_AS``
+    inside the child (the >RAM demonstration's budget). Transient shard
+    directories land under ``spill_root``, defaulting to the repo's
+    spill-root policy (``$REPRO_SPILL_DIR`` > ``$REPRO_CACHE_DIR`` >
+    ``~/.cache``) rather than ``$TMPDIR``.
+    """
     spill_dir = None
     if kind == "sharded":
+        if spill_root is None:
+            from repro.graph.sharded import default_spill_root
+
+            root = default_spill_root()
+            root.mkdir(parents=True, exist_ok=True)
+            spill_root = str(root)
         spill_dir = tempfile.mkdtemp(prefix=f"scale-n{n}-", dir=spill_root)
     ctx = multiprocessing.get_context("spawn")
     queue = ctx.SimpleQueue()
@@ -163,8 +262,11 @@ def run_cell(
         "kernel": kernel,
         "spill_dir": spill_dir,
         "shard_size": shard_size,
+        "jobs": jobs,
+        "mem_cap_mb": mem_cap_mb,
+        "batch_size": batch_size,
     }
-    proc = ctx.Process(target=_cell_entry, args=(queue, kwargs))
+    proc = ctx.Process(target=_cell_entry, args=(queue, kwargs, _env_snapshot()))
     proc.start()
     proc.join()
     try:
@@ -242,6 +344,31 @@ def _parser() -> argparse.ArgumentParser:
         f"asserting sharded peak RSS < {DEMO_RSS_BOUND:.0%} of dense",
     )
     p.add_argument(
+        "--demo-oom",
+        action="store_true",
+        help=">RAM demonstration: graph whose dense CSR "
+        f"(≈{(OOM_DEMO_VERTICES + 1) * 8 / 2**20 + OOM_DEMO_VERTICES * OOM_DEMO_DEGREE * 4 / 2**20:.0f}MB) "
+        f"exceeds a {OOM_DEMO_BUDGET_MB}MB RLIMIT_AS budget — the dense "
+        "control must MemoryError while sharded build+partition complete",
+    )
+    p.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="JOBS",
+        help="parallel-kernel cores sweep (e.g. 1 2 4 8): one dense cell "
+        "per worker count at the largest --scales size, speedup recorded "
+        "against the jobs=1 buffered baseline",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for every cell's build finalize and "
+        "partition stream (default: $REPRO_JOBS or 1)",
+    )
+    p.add_argument(
         "--shard-size",
         type=int,
         default=None,
@@ -296,7 +423,7 @@ def main(argv: list[str] | None = None) -> int:
                 cells.append(
                     run_cell(
                         "dense", n, args.avg_degree, args.parts, args.seed,
-                        kernel=kernel,
+                        kernel=kernel, jobs=args.jobs,
                     )
                 )
         if args.mode in ("all", "sharded"):
@@ -304,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
                 run_cell(
                     "sharded", n, args.avg_degree, args.parts, args.seed,
                     spill_root=args.spill_root, shard_size=args.shard_size,
+                    jobs=args.jobs,
                 )
             )
         for cell in cells:
@@ -312,6 +440,91 @@ def main(argv: list[str] | None = None) -> int:
             if "error" in cell:
                 status = 1
         sweep_cells.extend(cells)
+
+    cores_cells: list[dict] = []
+    if args.cores:
+        exp = max(args.scales)
+        n = 1 << exp
+        print(f"cores sweep: n = 2^{exp} = {n:,}, jobs ∈ {sorted(set(args.cores))}")
+        baseline = run_cell(
+            "dense", n, args.avg_degree, args.parts, args.seed,
+            kernel="buffered", jobs=1,
+        )
+        baseline["scale_exp"] = exp
+        baseline["sweep"] = "cores"
+        print(_fmt(baseline))
+        cores_cells.append(baseline)
+        base_vps = baseline.get("vertices_per_sec")
+        if "error" in baseline:
+            status = 1
+        for jobs in sorted(set(args.cores)):
+            cell = run_cell(
+                "dense", n, args.avg_degree, args.parts, args.seed,
+                kernel="parallel", jobs=jobs,
+            )
+            cell["scale_exp"] = exp
+            cell["sweep"] = "cores"
+            cell["jobs"] = jobs
+            if base_vps and cell.get("vertices_per_sec"):
+                cell["speedup_vs_buffered_1"] = round(
+                    cell["vertices_per_sec"] / base_vps, 3
+                )
+            print(_fmt(cell) + (
+                f"  speedup={cell['speedup_vs_buffered_1']:.2f}x"
+                if "speedup_vs_buffered_1" in cell else ""
+            ))
+            if "error" in cell:
+                status = 1
+            elif baseline.get("checksum") and cell["checksum"] != baseline["checksum"]:
+                print(f"    MISMATCH: jobs={jobs} checksum differs from baseline")
+                status = 1
+            cores_cells.append(cell)
+
+    oom_cells: list[dict] = []
+    if args.demo_oom:
+        n, deg, cap = OOM_DEMO_VERTICES, OOM_DEMO_DEGREE, OOM_DEMO_BUDGET_MB
+        csr_mb = ((n + 1) * 8 + n * deg * 4) / 2**20
+        print(
+            f"demo-oom: n = {n:,}, d̄≈{deg:g}, dense CSR ≈{csr_mb:.0f}MB "
+            f"vs RLIMIT_AS budget {cap}MB"
+        )
+        dense = run_cell(
+            "dense", n, deg, args.parts, args.seed,
+            kernel="incremental", mem_cap_mb=cap, batch_size=OOM_DEMO_BATCH,
+        )
+        # The partition stream stays on the explicit serial buffered
+        # kernel: a parallel stream would re-open the sharded graph in
+        # every worker, and under RLIMIT_AS each worker's mapped-shard
+        # LRU competes with the same address-space budget. The
+        # *finalize* is the parallel phase this demo exercises
+        # (jobs=2 unless overridden) — pool workers inherit the cap
+        # and each peaks at one bucket's bounded working set.
+        sharded = run_cell(
+            "sharded", n, deg, args.parts, args.seed,
+            kernel="buffered",
+            spill_root=args.spill_root,
+            shard_size=args.shard_size or OOM_DEMO_SHARD,
+            jobs=args.jobs or 2, mem_cap_mb=cap, batch_size=OOM_DEMO_BATCH,
+        )
+        for cell in (dense, sharded):
+            cell["sweep"] = "oom_demo"
+            print(_fmt(cell))
+        oom_cells = [dense, sharded]
+        dense_oomed = dense.get("error") == "MemoryError"
+        sharded_ok = "error" not in sharded
+        exceeds = sharded_ok and sharded["csr_mb"] > cap
+        print(
+            "demo-oom: dense control "
+            + ("hit MemoryError as required" if dense_oomed else
+               f"UNEXPECTEDLY {'succeeded' if 'error' not in dense else dense['error']}")
+            + "; sharded "
+            + (f"completed (graph {sharded['csr_mb']:.0f}MB > budget {cap}MB: "
+               f"{'yes' if exceeds else 'NO'})" if sharded_ok
+               else f"FAILED — {sharded.get('error')}")
+        )
+        oom_passed = dense_oomed and sharded_ok and exceeds
+        if not oom_passed:
+            status = 1
 
     demo_cells: list[dict] = []
     demo_ratio = None
@@ -347,6 +560,10 @@ def main(argv: list[str] | None = None) -> int:
         import platform
 
         stamp = time.strftime("%Y-%m-%dT%H:%M:%S+00:00", time.gmtime())
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):  # pragma: no cover - non-linux
+            cpus = os.cpu_count() or 1
         _append_entry(
             Path("BENCH_hotpaths.json"),
             {
@@ -358,8 +575,9 @@ def main(argv: list[str] | None = None) -> int:
                     "num_parts": args.parts,
                     "seed": args.seed,
                 },
-                "cells": sweep_cells + demo_cells,
+                "cells": sweep_cells + cores_cells + oom_cells + demo_cells,
                 "parity_control": parity,
+                "cpus_visible": cpus,
                 "python": platform.python_version(),
                 "numpy": np.__version__,
             },
@@ -370,8 +588,18 @@ def main(argv: list[str] | None = None) -> int:
             "scales": [f"2^{e}" for e in args.scales],
             "mode": args.mode,
             "parity_control_identical": ok,
+            "cpus_visible": cpus,
             "python": platform.python_version(),
         }
+        if args.cores:
+            entry["cores_sweep"] = {
+                str(c.get("jobs", 1)): c.get("speedup_vs_buffered_1")
+                for c in cores_cells
+                if c.get("sweep") == "cores" and c.get("kernel") == "parallel"
+            }
+        if oom_cells:
+            entry["oom_demo_passed"] = oom_passed
+            entry["oom_budget_mb"] = OOM_DEMO_BUDGET_MB
         if demo_ratio is not None:
             entry["demo_rss_ratio"] = round(demo_ratio, 3)
             entry["demo_rss_bound"] = DEMO_RSS_BOUND

@@ -163,6 +163,14 @@ def _partition_parser() -> argparse.ArgumentParser:
         help="streaming-loop backend for streaming partitioners "
         "(all backends produce identical assignments)",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel streaming backend "
+        "(default: $REPRO_JOBS or 1; 0 means all cores; assignments "
+        "are bit-identical at every value)",
+    )
     p.add_argument("--out", help="write the part-id vector to this .npy file")
     _add_telemetry_flag(p)
     return p
@@ -289,9 +297,10 @@ def _run_partition(argv: list[str]) -> int:
         g = read_edge_list(args.graph)
     print(f"graph: {summarize(g)}")
     # Partitioners accept different knob subsets (hash/chunk take no
-    # kernel, some take no seed); try the richest signature first.
+    # kernel or jobs, some take no seed); try the richest signature first.
     partitioner = None
     for kwargs in (
+        {"seed": args.seed, "kernel": args.kernel, "jobs": args.jobs},
         {"seed": args.seed, "kernel": args.kernel},
         {"seed": args.seed},
         {"kernel": args.kernel},

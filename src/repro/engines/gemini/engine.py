@@ -27,6 +27,7 @@ from repro.cluster.ledger import TimingLedger
 from repro.cluster.messages import TrafficMatrix
 from repro.engines.gemini.vertex_program import VertexProgram
 from repro.errors import ConfigurationError, SimulationError
+from repro.parallel import WorkerCrash, note_fallback
 from repro.graph.csr import CSRGraph
 from repro.partition.assignment import PartitionAssignment
 
@@ -82,6 +83,16 @@ class GeminiEngine:
     dense_threshold:
         Active-arc fraction above which adaptive mode switches to pull
         (Gemini's heuristic uses |E_active| > |E| / 20).
+    jobs:
+        Worker processes for the per-iteration superstep census
+        (explicit value beats ``$REPRO_JOBS`` beats 1). With
+        ``jobs > 1`` each machine's active-edge/vertex counts and
+        traffic row are computed by pool workers over shared arrays and
+        merged in machine order — every per-machine quantity is an
+        integer-valued float64 below 2^53, so the ledger is
+        bit-identical to the serial path at any jobs value. A worker
+        crash degrades the run to serial mid-flight (counted in
+        ``parallel.fallbacks``).
     """
 
     def __init__(
@@ -91,6 +102,7 @@ class GeminiEngine:
         aggregate_messages: bool = True,
         mode: str = "push",
         dense_threshold: float = 0.05,
+        jobs: int | None = None,
     ) -> None:
         if mode not in ("push", "pull", "adaptive"):
             raise ConfigurationError(f"mode must be push|pull|adaptive, got {mode!r}")
@@ -102,6 +114,7 @@ class GeminiEngine:
         self._aggregate = bool(aggregate_messages)
         self._mode = mode
         self._dense_threshold = float(dense_threshold)
+        self._jobs = jobs
 
     def run(
         self,
@@ -195,53 +208,109 @@ class GeminiEngine:
         modes: list[str] = []
         emit = telemetry.enabled()  # hoisted: one flag read per run
         reg = telemetry.active()
-        for it in range(program.max_iterations):
-            if not active.any():
-                break
-            iterations += 1
+        pool, shm, setup_tokens = self._open_census_pool(graph, structs, m)
+        try:
+            for it in range(program.max_iterations):
+                if not active.any():
+                    break
+                iterations += 1
 
-            active_vertices = np.nonzero(active)[0]
-            active_parts = parts[active_vertices]
-            active_arc_fraction = float(degrees[active_vertices].sum()) / total_arcs
-            if self._mode == "adaptive":
-                mode = "pull" if active_arc_fraction > self._dense_threshold else "push"
-            else:
-                mode = self._mode
-            modes.append(mode)
-            if emit:
-                reg.counter("engine.gemini.iterations", mode=mode).inc()
-                reg.counter("engine.gemini.active_vertices").inc(active_vertices.size)
-                reg.histogram(
-                    "engine.gemini.active_arc_fraction",
-                    buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
-                ).observe(active_arc_fraction)
-
-            if mode == "pull":
-                edges_per_m = all_edges_per_m
-                vertices_per_m = all_vertices_per_m
-                traffic = TrafficMatrix.from_pairs(m, *pull_traffic_pairs)
-            else:
-                edges_per_m = np.bincount(
-                    active_parts,
-                    weights=degrees[active_vertices].astype(np.float64),
-                    minlength=m,
-                )
-                vertices_per_m = np.bincount(active_parts, minlength=m).astype(np.float64)
-                live_arc = active[cut_src_vertex]
-                if self._aggregate:
-                    live_keys = np.unique(agg_key[live_arc])
-                    live_src = (live_keys // graph.num_vertices).astype(np.int64)
-                    live_dst = parts[(live_keys % graph.num_vertices).astype(np.int64)]
-                    traffic = TrafficMatrix.from_pairs(m, live_src, live_dst)
-                else:
-                    traffic = TrafficMatrix.from_pairs(
-                        m, cut_src_part[live_arc], cut_dst_part[live_arc]
+                # Per-machine census: active edge/vertex counts and the
+                # machine's traffic row. The parallel path computes the
+                # same integer-valued quantities per machine and merges
+                # them in machine order, so everything downstream
+                # (adaptive mode choice, ledger, telemetry) is
+                # bit-identical to the serial path.
+                census = None
+                if pool is not None:
+                    np.copyto(shm.array("active"), active)
+                    sid = setup_tokens["active"].name
+                    payloads = [
+                        {
+                            "sid": sid,
+                            "machine": mi,
+                            "aggregate": self._aggregate,
+                            "setup": setup_tokens,
+                        }
+                        for mi in range(m)
+                    ]
+                    try:
+                        census = pool.map_ordered(_CENSUS_TASK, payloads)
+                    except WorkerCrash:
+                        note_fallback("gemini.crash")
+                        pool.close()
+                        pool = None
+                if census is not None:
+                    push_edges = np.array([c[0] for c in census], dtype=np.float64)
+                    push_vertices = np.array(
+                        [float(c[1]) for c in census], dtype=np.float64
                     )
+                    push_traffic_counts = np.array(
+                        [c[2] for c in census], dtype=np.int64
+                    )
+                    num_active = int(push_vertices.sum())
+                    active_arc_fraction = float(push_edges.sum()) / total_arcs
+                else:
+                    active_vertices = np.nonzero(active)[0]
+                    active_parts = parts[active_vertices]
+                    num_active = int(active_vertices.size)
+                    active_arc_fraction = (
+                        float(degrees[active_vertices].sum()) / total_arcs
+                    )
+                if self._mode == "adaptive":
+                    mode = (
+                        "pull" if active_arc_fraction > self._dense_threshold else "push"
+                    )
+                else:
+                    mode = self._mode
+                modes.append(mode)
+                if emit:
+                    reg.counter("engine.gemini.iterations", mode=mode).inc()
+                    reg.counter("engine.gemini.active_vertices").inc(num_active)
+                    reg.histogram(
+                        "engine.gemini.active_arc_fraction",
+                        buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+                    ).observe(active_arc_fraction)
 
-            self._cluster.superstep(
-                edges=edges_per_m, vertices=vertices_per_m, traffic=traffic
-            )
-            state, active = program.iterate(graph, state, active, it)
+                if mode == "pull":
+                    edges_per_m = all_edges_per_m
+                    vertices_per_m = all_vertices_per_m
+                    traffic = TrafficMatrix.from_pairs(m, *pull_traffic_pairs)
+                elif census is not None:
+                    edges_per_m = push_edges
+                    vertices_per_m = push_vertices
+                    traffic = TrafficMatrix.from_counts(push_traffic_counts)
+                else:
+                    edges_per_m = np.bincount(
+                        active_parts,
+                        weights=degrees[active_vertices].astype(np.float64),
+                        minlength=m,
+                    )
+                    vertices_per_m = np.bincount(active_parts, minlength=m).astype(
+                        np.float64
+                    )
+                    live_arc = active[cut_src_vertex]
+                    if self._aggregate:
+                        live_keys = np.unique(agg_key[live_arc])
+                        live_src = (live_keys // graph.num_vertices).astype(np.int64)
+                        live_dst = parts[
+                            (live_keys % graph.num_vertices).astype(np.int64)
+                        ]
+                        traffic = TrafficMatrix.from_pairs(m, live_src, live_dst)
+                    else:
+                        traffic = TrafficMatrix.from_pairs(
+                            m, cut_src_part[live_arc], cut_dst_part[live_arc]
+                        )
+
+                self._cluster.superstep(
+                    edges=edges_per_m, vertices=vertices_per_m, traffic=traffic
+                )
+                state, active = program.iterate(graph, state, active, it)
+        finally:
+            if pool is not None:
+                pool.close()
+            if shm is not None:
+                shm.close()
 
         if emit:
             reg.counter("engine.gemini.runs").inc()
@@ -253,3 +322,109 @@ class GeminiEngine:
             total_messages=self._cluster.total_messages,
             modes=modes,
         )
+
+    def _open_census_pool(self, graph, structs: dict, m: int):
+        """Set up the worker pool + shared arrays for parallel supersteps.
+
+        Returns ``(pool, shm, setup_tokens)`` — all ``None`` when the run
+        stays serial (``jobs <= 1``, no shared memory, or a single
+        machine). Grouped per-machine structures are memoised on the
+        assignment's derived cache next to the serial ones.
+        """
+        from repro.parallel import (
+            SharedArrayPool,
+            WorkerPool,
+            note_fallback,
+            resolve_jobs,
+            shm_available,
+        )
+
+        jobs = min(resolve_jobs(self._jobs), m)
+        if jobs <= 1:
+            return None, None, None
+        if not shm_available():
+            note_fallback("gemini.no_shm")
+            return None, None, None
+        par = structs.get("parallel")
+        if par is None:
+            parts = structs["parts"]
+            cut_src_part = structs["cut_src_part"]
+            n = np.int64(max(graph.num_vertices, 1))
+            vert_order = np.argsort(parts, kind="stable").astype(np.int64)
+            vert_offsets = np.zeros(m + 1, dtype=np.int64)
+            np.cumsum(np.bincount(parts, minlength=m), out=vert_offsets[1:])
+            # Cut arcs grouped by source machine (stable, so each group
+            # preserves edge_array order — unique/bincount reductions are
+            # order-insensitive anyway, but determinism costs nothing).
+            cut_order = np.argsort(cut_src_part, kind="stable")
+            cut_offsets = np.searchsorted(
+                cut_src_part[cut_order], np.arange(m + 1, dtype=np.int64)
+            ).astype(np.int64)
+            par = {
+                "vert_order": vert_order,
+                "vert_offsets": vert_offsets,
+                "cut_src": structs["cut_src_vertex"][cut_order],
+                "cut_dst": (structs["agg_key"][cut_order] % n).astype(np.int64),
+                "cut_dst_part": structs["cut_dst_part"][cut_order],
+                "cut_offsets": cut_offsets,
+            }
+            structs["parallel"] = par
+        shm = SharedArrayPool()
+        try:
+            shm.share("degrees", np.ascontiguousarray(graph.degrees, dtype=np.int64))
+            shm.share("parts", structs["parts"])
+            shm.share("active", np.zeros(graph.num_vertices, dtype=bool))
+            for key in (
+                "vert_order",
+                "vert_offsets",
+                "cut_src",
+                "cut_dst",
+                "cut_dst_part",
+                "cut_offsets",
+            ):
+                shm.share(key, par[key])
+            pool = WorkerPool(jobs)
+        except (OSError, ValueError):  # pragma: no cover - shm exhaustion
+            note_fallback("gemini.setup")
+            shm.close()
+            return None, None, None
+        return pool, shm, shm.tokens()
+
+
+#: ``module:attr`` spec of the census task for the worker pool.
+_CENSUS_TASK = "repro.engines.gemini.engine:_census_task"
+
+
+def _census_task(payload: dict, state: dict) -> tuple[float, int, list[int]]:
+    """Pool worker: one machine's active census + traffic row.
+
+    Everything is integer-valued (edge/vertex/message counts), so the
+    parent's machine-order merge is bit-identical to the serial global
+    reduction.
+    """
+    from repro.parallel import attach_array
+
+    sess = state.get(payload["sid"])
+    if sess is None:
+        sess = {
+            key: attach_array(token, state)
+            for key, token in payload["setup"].items()
+        }
+        state[payload["sid"]] = sess
+    mi = int(payload["machine"])
+    active = sess["active"]
+    voff = sess["vert_offsets"]
+    verts = sess["vert_order"][voff[mi] : voff[mi + 1]]
+    live_verts = verts[active[verts]]
+    edges = float(sess["degrees"][live_verts].sum())
+    num_machines = int(voff.shape[0] - 1)
+    lo, hi = int(sess["cut_offsets"][mi]), int(sess["cut_offsets"][mi + 1])
+    live_arc = active[sess["cut_src"][lo:hi]]
+    if payload["aggregate"]:
+        # Within one source machine the (machine, dst) aggregation key
+        # reduces to distinct destination vertices.
+        dst = np.unique(sess["cut_dst"][lo:hi][live_arc])
+        row = np.bincount(sess["parts"][dst], minlength=num_machines)
+    else:
+        row = np.bincount(sess["cut_dst_part"][lo:hi][live_arc], minlength=num_machines)
+    return edges, int(live_verts.size), row.astype(np.int64).tolist()

@@ -84,6 +84,10 @@ DEFAULT_SHARD_SIZE = 1 << 17
 #: Default size of the open-shard LRU.
 DEFAULT_MAX_OPEN = 8
 
+#: Arcs per gather_block sub-slice — bounds the int64 slot-arithmetic
+#: transients (≈28 B/arc) independently of how hub-heavy a chunk is.
+_GATHER_CHUNK_ARCS = 1 << 20
+
 _SPILL_DIR_ENV = "REPRO_SPILL_DIR"
 
 
@@ -360,6 +364,8 @@ class ShardedCSRGraph:
         self._open[shard] = (local, indices)
         while len(self._open) > self._max_open:
             self._open.popitem(last=False)
+            if telemetry.enabled():
+                telemetry.active().counter("graph.sharded.evictions").inc()
         return local, indices
 
     def close(self) -> None:
@@ -447,18 +453,37 @@ class ShardedCSRGraph:
         shard_of = chunk // self._shard_size
         groups = 0
         for shard in np.unique(shard_of):
-            sel = shard_of == shard
+            sel = np.flatnonzero(shard_of == shard)
             g_lens = lens[sel]
             g_total = int(g_lens.sum())
             if g_total == 0:
                 continue
             local, indices = self._shard(int(shard))
             starts = local[chunk[sel] - int(shard) * self._shard_size]
-            g_first = np.concatenate(([0], np.cumsum(g_lens)[:-1]))
-            span = np.arange(g_total, dtype=np.int64)
-            src_slots = np.repeat(starts - g_first, g_lens) + span
-            dst_slots = np.repeat(first[sel] - g_first, g_lens) + span
-            out[dst_slots] = indices[src_slots]
+            # Sub-slice the group on an arc budget: the slot arithmetic
+            # below builds three int64 arrays of the slice's arc count,
+            # and a hub-heavy chunk (power-law head) can hold a double-
+            # digit share of *all* arcs — unbounded, that transient
+            # dwarfs the output and busts address-space budgets the
+            # output itself fits in. Values written are identical.
+            bounds = np.searchsorted(
+                np.cumsum(g_lens),
+                np.arange(_GATHER_CHUNK_ARCS, g_total, _GATHER_CHUNK_ARCS),
+                side="left",
+            )
+            cuts = [0, *(int(b) + 1 for b in bounds), sel.size]
+            for a, b in zip(cuts[:-1], cuts[1:]):
+                if a >= b:
+                    continue
+                s_lens = g_lens[a:b]
+                s_total = int(s_lens.sum())
+                if s_total == 0:
+                    continue
+                s_first = np.concatenate(([0], np.cumsum(s_lens)[:-1]))
+                span = np.arange(s_total, dtype=np.int64)
+                src_slots = np.repeat(starts[a:b] - s_first, s_lens) + span
+                dst_slots = np.repeat(first[sel[a:b]] - s_first, s_lens) + span
+                out[dst_slots] = indices[src_slots]
             groups += 1
         if telemetry.enabled():
             telemetry.active().counter("graph.sharded.block_reads").inc(groups)
@@ -512,6 +537,107 @@ def open_sharded(
 ) -> ShardedCSRGraph:
     """Open an existing shard directory (validating every shard file)."""
     return ShardedCSRGraph(directory, **kwargs)
+
+
+#: Arcs per bucket read during finalize. Bounds the transient working
+#: set of :func:`_write_shard` so a hub-heavy bucket (power-law graphs
+#: concentrate a large arc fraction in the lowest shard) never needs a
+#: single bucket-sized int64 allocation.
+_BUCKET_CHUNK_ARCS = 1 << 19
+
+
+def _write_shard(
+    directory: Path, shard: int, lo: int, hi: int, n: int, index_dtype: np.dtype
+) -> int:
+    """Sort/dedup one bucket file into its shard ``.npy`` pair.
+
+    The unit of work of :meth:`ShardedCSRBuilder.finalize` — a pure
+    function of the bucket file's bytes, so it runs identically in the
+    parent or in a pool worker. Returns the shard's arc count; the
+    bucket file is left in place (the parent unlinks it only after the
+    count has been received, keeping a crashed parallel run retryable —
+    ``np.save`` overwrites are idempotent).
+
+    The bucket is consumed in two bounded passes rather than one
+    whole-bucket sort: pass 1 bincounts sources from chunked reads,
+    pass 2 scatters destinations (already narrowed to ``index_dtype``)
+    into per-source segments, and each segment is then sorted/deduped
+    in place. Peak memory is one ``index_dtype`` arc array plus a
+    constant-size read buffer — not 3–4 int64 copies of the bucket —
+    which is what lets finalize run under an address-space budget that
+    the bucket itself exceeds. The result is byte-identical to a
+    global stable ``(src, dst)`` sort with adjacent dedup: both reduce
+    to "sorted unique destinations per source".
+    """
+    bucket_path = directory / f"bucket-{shard:07d}.tmp"
+    width = hi - lo
+    starts = np.zeros(width + 1, dtype=np.int64)
+    total = 0
+    if bucket_path.exists():
+        nbytes = bucket_path.stat().st_size
+        if nbytes % 16:
+            raise GraphFormatError(
+                f"{bucket_path}: torn bucket file (odd element count)"
+            )
+        total = nbytes // 16
+    indices = np.empty(total, dtype=index_dtype)
+    if total:
+        # Pass 1: per-source arc counts (duplicates included).
+        counts = np.zeros(width, dtype=np.int64)
+        with open(bucket_path, "rb") as fh:
+            while True:
+                chunk = np.fromfile(fh, dtype=np.int64, count=2 * _BUCKET_CHUNK_ARCS)
+                if not chunk.size:
+                    break
+                counts += np.bincount(chunk[0::2] - lo, minlength=width)
+        np.cumsum(counts, out=starts[1:])
+        # Pass 2: scatter destinations into their source's segment.
+        cursor = starts[:-1].copy()
+        with open(bucket_path, "rb") as fh:
+            while True:
+                chunk = np.fromfile(fh, dtype=np.int64, count=2 * _BUCKET_CHUNK_ARCS)
+                if not chunk.size:
+                    break
+                order = np.argsort(chunk[0::2], kind="stable")
+                s = chunk[0::2][order] - lo
+                ccounts = np.bincount(s, minlength=width)
+                within = np.arange(s.size, dtype=np.int64) - np.repeat(
+                    np.cumsum(ccounts) - ccounts, ccounts
+                )
+                indices[cursor[s] + within] = chunk[1::2][order].astype(
+                    index_dtype
+                )
+                cursor += ccounts
+    # Sort + dedup each source's segment in place, compacting left.
+    write = 0
+    final = np.zeros(width, dtype=np.int64)
+    for v in np.flatnonzero(starts[1:] > starts[:-1]):
+        seg = np.unique(indices[starts[v] : starts[v + 1]])
+        indices[write : write + seg.size] = seg
+        final[v] = seg.size
+        write += seg.size
+    local = np.zeros(width + 1, dtype=np.int64)
+    np.cumsum(final, out=local[1:])
+    indptr_path, indices_path = _shard_paths(directory, shard)
+    np.save(indptr_path, local)
+    np.save(indices_path, indices[:write])
+    return int(write)
+
+
+#: ``module:attr`` spec of the finalize task for the worker pool.
+_FINALIZE_TASK = "repro.graph.sharded:_finalize_shard_task"
+
+
+def _finalize_shard_task(payload: dict, state: dict) -> int:
+    """Pool-worker wrapper around :func:`_write_shard`."""
+    return _write_shard(
+        Path(payload["directory"]),
+        int(payload["shard"]),
+        int(payload["lo"]),
+        int(payload["hi"]),
+        int(payload["n"]),
+        np.dtype(payload["index_dtype"]),
+    )
 
 
 class ShardedCSRBuilder:
@@ -614,8 +740,21 @@ class ShardedCSRBuilder:
         """Append a single edge (convenience for tests)."""
         self.add_edges(np.array([u], dtype=np.int64), np.array([v], dtype=np.int64))
 
-    def finalize(self, *, validate: bool = True) -> ShardedCSRGraph:
-        """Sort/dedup each bucket, write shards + metadata, open graph."""
+    def finalize(
+        self, *, validate: bool = True, jobs: int | None = None
+    ) -> ShardedCSRGraph:
+        """Sort/dedup each bucket, write shards + metadata, open graph.
+
+        With ``jobs > 1`` (explicit value beats ``$REPRO_JOBS``) the
+        per-shard sort/dedup/write fans out over worker processes —
+        shards are independent files, so the only parent-side work is
+        assembling ``edge_offsets`` in shard order. The output is
+        byte-identical to the serial path (same canonical sort, same
+        ``np.save`` encoding), and a worker crash degrades to finishing
+        the remaining shards serially: bucket files are only unlinked
+        after their shard's arc count has been received, and shard
+        writes are idempotent overwrites, so a retried shard is safe.
+        """
         if self._finalized:
             raise GraphFormatError("builder already finalized")
         for fh in self._buckets.values():
@@ -625,47 +764,66 @@ class ShardedCSRBuilder:
         n = max(n, 0)
         num_shards = -(-n // self._shard_size) if n else 0
         index_dtype = _index_dtype(max(n, 1))
-        edge_offsets = [0]
         emit = telemetry.enabled()
+
+        from repro.parallel import note_fallback, resolve_jobs, shm_available
+
+        eff_jobs = min(resolve_jobs(jobs), max(num_shards, 1))
+        arc_counts: list[int | None] = [None] * num_shards
+        if eff_jobs > 1 and not shm_available():
+            note_fallback("finalize.no_shm")
+            eff_jobs = 1
+        if eff_jobs > 1:
+            from repro.parallel import WorkerCrash, WorkerPool, WorkerTaskError
+
+            pool = WorkerPool(eff_jobs)
+            try:
+                payloads = [
+                    {
+                        "directory": str(self._dir),
+                        "shard": shard,
+                        "lo": shard * self._shard_size,
+                        "hi": min((shard + 1) * self._shard_size, n),
+                        "n": n,
+                        "index_dtype": index_dtype.name,
+                    }
+                    for shard in range(num_shards)
+                ]
+                try:
+                    for shard, count in enumerate(
+                        pool.map_ordered(_FINALIZE_TASK, payloads)
+                    ):
+                        arc_counts[shard] = int(count)
+                        bucket_path = self._bucket_path(shard)
+                        if bucket_path.exists():
+                            bucket_path.unlink()
+                        if emit:
+                            telemetry.active().counter(
+                                "graph.sharded.spill_writes"
+                            ).inc(2)
+                except WorkerCrash:
+                    note_fallback("finalize.crash")
+                except WorkerTaskError:
+                    # Task errors are deterministic (e.g. a torn bucket
+                    # file): retry serially so the caller sees the real
+                    # exception type instead of a pickled traceback.
+                    note_fallback("finalize.task_error")
+            finally:
+                pool.close()
         for shard in range(num_shards):
+            if arc_counts[shard] is not None:
+                continue
             lo = shard * self._shard_size
             hi = min(lo + self._shard_size, n)
+            arc_counts[shard] = _write_shard(self._dir, shard, lo, hi, n, index_dtype)
             bucket_path = self._bucket_path(shard)
-            if bucket_path.exists():
-                pairs = np.fromfile(bucket_path, dtype=np.int64)
-                if pairs.size % 2:
-                    raise GraphFormatError(
-                        f"{bucket_path}: torn bucket file (odd element count)"
-                    )
-                pairs = pairs.reshape(-1, 2)
-                s, d = pairs[:, 0], pairs[:, 1]
-                # Same canonical order as from_edges: stable sort on the
-                # combined (src, dst) key, then adjacent-key dedup.
-                key = s * np.int64(n) + d
-                order = np.argsort(key, kind="stable")
-                key = key[order]
-                keep = np.empty(key.size, dtype=bool)
-                if key.size:
-                    keep[0] = True
-                    np.not_equal(key[1:], key[:-1], out=keep[1:])
-                s, d = s[order][keep], d[order][keep]
-            else:
-                s = d = np.zeros(0, dtype=np.int64)
-            counts = (
-                np.bincount(s - lo, minlength=hi - lo)
-                if s.size
-                else np.zeros(hi - lo, dtype=np.int64)
-            )
-            local = np.zeros(hi - lo + 1, dtype=np.int64)
-            np.cumsum(counts, out=local[1:])
-            indptr_path, indices_path = _shard_paths(self._dir, shard)
-            np.save(indptr_path, local)
-            np.save(indices_path, d.astype(index_dtype))
-            edge_offsets.append(edge_offsets[-1] + int(s.size))
             if bucket_path.exists():
                 bucket_path.unlink()
             if emit:
                 telemetry.active().counter("graph.sharded.spill_writes").inc(2)
+        edge_offsets = [0]
+        for count in arc_counts:
+            edge_offsets.append(edge_offsets[-1] + int(count))
         meta = {
             "format": SHARD_FORMAT,
             "num_vertices": int(n),

@@ -1,0 +1,221 @@
+"""Persistent spawn-safe worker pool with deterministic task routing.
+
+The pool exists to make *exact* parallelism cheap to express: callers
+route task ``i`` to worker ``i % jobs`` and receive results in the same
+fixed order, so reductions are bit-identical to a serial run no matter
+how the OS schedules the workers (the determinism contract of
+DESIGN.md §14).  Workers are plain ``spawn`` processes (the only start
+method that is thread-safe and platform-uniform — same choice as
+:mod:`repro.bench.runner`) connected by duplex pipes.
+
+Task functions are named by ``"module:attr"`` strings and resolved with
+:mod:`importlib` inside the worker, so nothing about the parent's
+closures needs to pickle.  Each worker keeps a ``state`` dict across
+tasks — attach a shared segment or open a sharded graph once, reuse it
+for every subsequent task.
+
+A dead worker (killed, OOM, crashed interpreter) surfaces as
+:class:`WorkerCrash` at the call site; callers degrade to their serial
+path and count the event in ``parallel.fallbacks``.  An exception
+raised *by the task function* is different — it would fail serially
+too — and re-raises as :class:`WorkerTaskError` instead.
+
+``resolve_jobs`` is the single policy point for the ``jobs=`` /
+``REPRO_JOBS`` knob: explicit argument wins over the environment, and
+inside a pool worker (``REPRO_PARALLEL_CHILD`` set) the answer is
+always 1, so fan-out never nests.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import traceback
+from multiprocessing import get_context
+
+from repro import telemetry
+
+__all__ = ["WorkerCrash", "WorkerTaskError", "WorkerPool", "resolve_jobs"]
+
+_CHILD_ENV = "REPRO_PARALLEL_CHILD"
+_JOBS_ENV = "REPRO_JOBS"
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker died without returning a result."""
+
+
+class WorkerTaskError(RuntimeError):
+    """The task function itself raised inside a worker (deterministic —
+    the serial path would fail identically, so callers re-raise rather
+    than falling back)."""
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the effective worker count for a ``jobs=`` knob.
+
+    Explicit ``jobs`` beats ``$REPRO_JOBS`` beats 1.  ``jobs <= 0``
+    means "all visible cores".  Inside a pool worker the answer is
+    always 1 — nested fan-out would oversubscribe and can deadlock on
+    pipe buffers.
+    """
+    if os.environ.get(_CHILD_ENV):
+        return 1
+    if jobs is None:
+        env = os.environ.get(_JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        try:
+            jobs = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):  # pragma: no cover - non-linux
+            jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in child process
+    """Worker entry: serve ``(fn_spec, payload)`` tasks until EOF."""
+    os.environ[_CHILD_ENV] = "1"
+    state: dict = {}
+    fns: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        fn_spec, payload = msg
+        try:
+            fn = fns.get(fn_spec)
+            if fn is None:
+                module, _, attr = fn_spec.partition(":")
+                fn = getattr(importlib.import_module(module), attr)
+                fns[fn_spec] = fn
+            result = ("ok", fn(payload, state))
+        except BaseException:
+            result = ("err", traceback.format_exc(limit=12))
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            break
+    # Release attached shared segments without unlinking (parent owns).
+    for seg in state.get("_shm_segments", {}).values():
+        try:
+            seg.close()
+        except Exception:
+            pass
+
+
+class WorkerPool:
+    """Fixed-size pool of persistent spawn workers.
+
+    Workers are spawned lazily on first submit to each slot, so a run
+    that crashes into serial fallback before touching slot 3 never pays
+    for it.  ``submit``/``recv`` are the primitive pipelined interface;
+    :meth:`map_ordered` is the convenience reduction for
+    order-independent tasks.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._jobs = int(jobs)
+        self._ctx = get_context("spawn")
+        self._conns: list = [None] * self._jobs
+        self._procs: list = [None] * self._jobs
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def _slot(self, widx: int):
+        conn = self._conns[widx]
+        if conn is None:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns[widx] = conn = parent_conn
+            self._procs[widx] = proc
+            if telemetry.enabled():
+                telemetry.active().counter("parallel.workers_spawned").inc()
+        return conn
+
+    def submit(self, widx: int, fn_spec: str, payload) -> None:
+        """Send one task to worker ``widx`` (non-blocking)."""
+        conn = self._slot(widx % self._jobs)
+        try:
+            conn.send((fn_spec, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrash(f"worker {widx % self._jobs} is gone: {exc}") from exc
+        if telemetry.enabled():
+            telemetry.active().counter("parallel.tasks").inc()
+
+    def recv(self, widx: int):
+        """Block for worker ``widx``'s next result (FIFO per worker)."""
+        conn = self._conns[widx % self._jobs]
+        if conn is None:
+            raise WorkerCrash(f"worker {widx % self._jobs} was never started")
+        try:
+            status, value = conn.recv()
+        except (EOFError, OSError) as exc:
+            if telemetry.enabled():
+                telemetry.active().counter("parallel.worker_crashes").inc()
+            raise WorkerCrash(f"worker {widx % self._jobs} died mid-task") from exc
+        if status == "err":
+            raise WorkerTaskError(f"task failed in worker {widx % self._jobs}:\n{value}")
+        return value
+
+    def map_ordered(self, fn_spec: str, payloads, *, depth: int = 2) -> list:
+        """Run ``payloads`` round-robin across workers, results in order.
+
+        ``depth`` bounds in-flight tasks per worker so pipe buffers stay
+        small.  Task ``i`` always runs on worker ``i % jobs`` and
+        results come back in submission order — the reduction is
+        deterministic by construction.
+        """
+        payloads = list(payloads)
+        results = []
+        submitted = 0
+        window = self._jobs * max(1, depth)
+        while len(results) < len(payloads):
+            while submitted < len(payloads) and submitted - len(results) < window:
+                self.submit(submitted, fn_spec, payloads[submitted])
+                submitted += 1
+            results.append(self.recv(len(results)))
+        return results
+
+    def close(self) -> None:
+        """Shut every worker down (graceful sentinel, then terminate)."""
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for widx, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+            conn = self._conns[widx]
+            if conn is not None:
+                conn.close()
+        self._conns = [None] * self._jobs
+        self._procs = [None] * self._jobs
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

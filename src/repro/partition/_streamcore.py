@@ -26,6 +26,7 @@ import numpy as np
 from repro import telemetry
 from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
+from repro.parallel import resolve_jobs
 from repro.partition.kernels import get_kernel
 
 __all__ = ["stream_partition", "default_alpha"]
@@ -58,6 +59,7 @@ def stream_partition(
     rng=None,
     passes: int = 1,
     kernel: str = "auto",
+    jobs: int | None = None,
 ) -> np.ndarray:
     """Streaming assignment; returns the part-id vector.
 
@@ -85,6 +87,12 @@ def stream_partition(
         Inner-loop backend (see :mod:`repro.partition.kernels`). All
         backends produce identical assignments; ``auto`` picks the
         fastest one available.
+    jobs:
+        Worker processes for the ``parallel`` backend (explicit value
+        beats ``$REPRO_JOBS`` beats 1). With ``jobs > 1`` and
+        ``kernel="auto"`` the parallel backend is engaged; an explicit
+        non-parallel kernel choice is respected and runs in-process.
+        Assignments are bit-identical at every jobs value.
     """
     n = graph.num_vertices
     k = int(num_parts)
@@ -94,12 +102,18 @@ def stream_partition(
     if passes < 1:
         raise ValueError(f"passes must be >= 1, got {passes}")
     backend = get_kernel(kernel)
+    eff_jobs = resolve_jobs(jobs)
+    if eff_jobs > 1 and (kernel or "auto").lower() == "auto":
+        backend = get_kernel("parallel")
     # Sharded graphs expose no global indices array; their chunked
     # gather_block *is* the buffered kernel's gather, so every kernel
     # choice routes there (all backends are bit-exact — the knob trades
     # throughput only, so the routing is invisible in the output).
     gather = getattr(graph, "gather_block", None)
-    effective = "buffered" if gather is not None else backend.name
+    if backend.name == "parallel":
+        effective = "parallel"
+    else:
+        effective = "buffered" if gather is not None else backend.name
     w = np.ascontiguousarray(vertex_weights, dtype=np.float64)
     loads = np.zeros(k, dtype=np.float64)
     capacity = slack * w.sum() / k
@@ -111,7 +125,26 @@ def stream_partition(
     )
     if timer_ctx is not None:
         timer_ctx.__enter__()
-    if gather is not None:
+    if backend.name == "parallel":
+        from repro.partition.kernels.parallel_backend import fennel_parallel
+
+        dense = gather is None
+        fennel_parallel(
+            graph.indptr if dense else None,
+            graph.indices if dense else None,
+            stream,
+            parts,
+            loads,
+            w,
+            alpha=float(alpha),
+            gamma=float(gamma),
+            capacity=float(capacity),
+            passes=int(passes),
+            gather=gather,
+            graph=graph,
+            jobs=eff_jobs,
+        )
+    elif gather is not None:
         from repro.partition.kernels.buffered import fennel_buffered
 
         fennel_buffered(

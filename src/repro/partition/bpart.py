@@ -36,7 +36,7 @@ from repro.partition._streamcore import default_alpha, stream_partition
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import Partitioner, register_partitioner
 from repro.partition.combine import multi_layer_combine
-from repro.partition.kernels import get_kernel
+from repro.partition.kernels import resolve_kernel_name
 from repro.utils.timing import WallClock
 from repro.utils.validation import check_fraction, check_positive, check_probability
 
@@ -69,6 +69,7 @@ def weighted_stream_partition(
     rng=None,
     passes: int = 1,
     kernel: str = "auto",
+    jobs: int | None = None,
 ) -> np.ndarray:
     """Phase-1 streaming pass with the weighted indicator (Eq. 1 + 2)."""
     check_probability("c", c)
@@ -85,6 +86,7 @@ def weighted_stream_partition(
         rng=rng,
         passes=passes,
         kernel=kernel,
+        jobs=jobs,
     )
 
 
@@ -121,6 +123,11 @@ class BPartPartitioner(Partitioner):
         (:func:`repro.partition.refine.refine_assignment`) after the
         combining phase: trades the residual balance slack (up to the
         ε envelope) for a lower edge cut.
+    jobs:
+        Worker processes for the parallel streaming backend (explicit
+        value beats ``$REPRO_JOBS`` beats 1). With ``kernel="auto"`` and
+        ``jobs > 1`` every phase-1 stream fans its chunk scoring over
+        workers; assignments stay bit-identical at every jobs value.
     """
 
     name = "bpart"
@@ -140,6 +147,7 @@ class BPartPartitioner(Partitioner):
         seed: int | None = None,
         passes: int = 1,
         kernel: str = "auto",
+        jobs: int | None = None,
         refine: bool = False,
     ) -> None:
         check_probability("c", c)
@@ -161,7 +169,8 @@ class BPartPartitioner(Partitioner):
         self._slack = slack
         self._order = order
         self._seed = seed
-        self._kernel = get_kernel(kernel).name
+        self._jobs = jobs
+        self._kernel = resolve_kernel_name(kernel, jobs)
 
     def _partition(
         self, graph: CSRGraph, num_parts: int, clock: WallClock
@@ -179,6 +188,7 @@ class BPartPartitioner(Partitioner):
                     rng=self._seed,
                     passes=self._passes,
                     kernel=self._kernel,
+                    jobs=self._jobs,
                 )
 
         with clock.measure("combine"):

@@ -21,7 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.partition._streamcore import default_alpha, stream_partition
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import Partitioner, register_partitioner
-from repro.partition.kernels import get_kernel
+from repro.partition.kernels import resolve_kernel_name
 from repro.utils.timing import WallClock
 from repro.utils.validation import check_positive
 
@@ -49,6 +49,11 @@ class FennelPartitioner(Partitioner):
     kernel:
         Inner-loop backend (:mod:`repro.partition.kernels`); all
         backends are bit-exact, so this knob trades throughput only.
+    jobs:
+        Worker processes for the parallel backend (explicit value beats
+        ``$REPRO_JOBS`` beats 1; ``<= 0`` means all available cores).
+        With ``kernel="auto"`` and ``jobs > 1`` the ``parallel`` backend
+        is engaged; assignments stay bit-identical at every jobs value.
     """
 
     name = "fennel"
@@ -63,6 +68,7 @@ class FennelPartitioner(Partitioner):
         seed: int | None = None,
         passes: int = 1,
         kernel: str = "auto",
+        jobs: int | None = None,
     ) -> None:
         if alpha is not None:
             check_positive("alpha", alpha)
@@ -75,9 +81,10 @@ class FennelPartitioner(Partitioner):
         self._order = order
         self._seed = seed
         self._passes = int(passes)
+        self._jobs = jobs
         # Resolve eagerly: validates the name and pins "auto" to the
         # concrete backend so metadata reports what actually ran.
-        self._kernel = get_kernel(kernel).name
+        self._kernel = resolve_kernel_name(kernel, jobs)
 
     def _partition(
         self, graph: CSRGraph, num_parts: int, clock: WallClock
@@ -95,6 +102,7 @@ class FennelPartitioner(Partitioner):
                 rng=self._seed,
                 passes=self._passes,
                 kernel=self._kernel,
+                jobs=self._jobs,
             )
         return (
             PartitionAssignment(graph, parts, num_parts),

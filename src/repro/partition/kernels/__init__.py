@@ -14,7 +14,12 @@ current environment:
 ``numba``
     JIT-compiled incremental loop; registered only when numba is
     installed, otherwise ``get_kernel("numba")`` falls back to
-    ``incremental``.
+    ``incremental`` with a one-time warning and a
+    ``kernels.numba_fallbacks`` telemetry increment.
+``parallel``
+    Worker-process chunk scoring over shared memory with exact in-order
+    resolution (:mod:`repro.parallel`); honours ``jobs=``/``REPRO_JOBS``
+    and degrades to ``buffered`` at ``jobs=1``.
 
 ``get_kernel("auto")`` — the default everywhere a ``kernel=`` knob is
 exposed — picks ``numba`` when available and ``incremental`` otherwise;
@@ -28,11 +33,13 @@ from repro.partition.kernels.base import (
     available_kernels,
     get_kernel,
     register_kernel,
+    resolve_kernel_name,
 )
 from repro.partition.kernels import scalar as _scalar  # noqa: F401 (registers)
 from repro.partition.kernels import incremental as _incremental  # noqa: F401
 from repro.partition.kernels import buffered as _buffered  # noqa: F401
 from repro.partition.kernels import numba_backend as _numba_backend  # noqa: F401
+from repro.partition.kernels import parallel_backend as _parallel_backend  # noqa: F401
 from repro.partition.kernels.numba_backend import HAVE_NUMBA
 
 __all__ = [
@@ -41,5 +48,6 @@ __all__ = [
     "available_kernels",
     "get_kernel",
     "register_kernel",
+    "resolve_kernel_name",
     "HAVE_NUMBA",
 ]

@@ -41,14 +41,17 @@ __all__ = [
     "available_kernels",
     "get_kernel",
     "register_kernel",
+    "resolve_kernel_name",
     "pow_like_numpy",
 ]
 
 #: Names accepted by ``kernel=`` knobs. ``auto`` resolves to the fastest
 #: available bit-exact backend (``numba`` when importable, else
-#: ``incremental``); ``numba`` silently falls back to ``incremental``
-#: when the JIT is not installed.
-KERNEL_CHOICES = ("auto", "scalar", "incremental", "buffered", "numba")
+#: ``incremental``); ``numba`` falls back to ``incremental`` (with a
+#: one-time warning) when the JIT is not installed; ``parallel`` fans
+#: chunk scoring over worker processes and itself degrades to
+#: ``buffered`` at ``jobs=1``.
+KERNEL_CHOICES = ("auto", "scalar", "incremental", "buffered", "numba", "parallel")
 
 
 @dataclass(frozen=True)
@@ -97,12 +100,41 @@ def get_kernel(name: str | None = "auto") -> KernelBackend:
     if key == "auto":
         key = "numba" if "numba" in _REGISTRY else "incremental"
     elif key == "numba" and "numba" not in _REGISTRY:
+        _note_numba_fallback()
         key = "incremental"
     if key not in _REGISTRY:
         raise ConfigurationError(
             f"unknown streaming kernel {name!r}; choose from {KERNEL_CHOICES}"
         )
     return _REGISTRY[key]
+
+
+def resolve_kernel_name(name: str | None, jobs: int | None = None) -> str:
+    """Pin a ``kernel=`` knob to the concrete backend that will run.
+
+    Like :func:`get_kernel` but jobs-aware: with ``kernel="auto"`` and a
+    requested/ambient worker count above 1 (``jobs=`` beats
+    ``$REPRO_JOBS``), the ``parallel`` backend is selected so
+    multi-core runs engage the fan-out by default. An explicit
+    non-parallel kernel name is always respected — it runs in-process
+    regardless of ``jobs`` (all backends are bit-exact, so either way
+    the output is identical).
+    """
+    key = (name or "auto").lower()
+    if key == "auto":
+        from repro.parallel import resolve_jobs
+
+        if resolve_jobs(jobs) > 1:
+            return "parallel"
+    return get_kernel(key).name
+
+
+def _note_numba_fallback() -> None:
+    # Lazy import: numba_backend imports this module at registration
+    # time, so the hook resolves at call time instead.
+    from repro.partition.kernels.numba_backend import note_missing_numba
+
+    note_missing_numba()
 
 
 def pow_like_numpy(base: float, exp: float) -> float:

@@ -5,8 +5,11 @@ the incremental algorithm (delta-maintained penalties, counter reset by
 touched entries) registers under ``"numba"`` and becomes the ``"auto"``
 default. When it is not — the common case for the slim test image —
 this module registers nothing and :func:`~repro.partition.kernels.base.
-get_kernel` silently resolves ``"numba"`` to ``"incremental"``, so a
-``kernel="numba"`` knob never errors on a machine without the JIT.
+get_kernel` resolves ``"numba"`` to ``"incremental"``, so a
+``kernel="numba"`` knob never errors on a machine without the JIT. The
+substitution is visible, not silent: :func:`note_missing_numba` warns
+once per process and counts each fallback in
+``kernels.numba_fallbacks`` telemetry.
 
 The compiled loops operate on the NumPy arrays directly (no ``tolist``
 mirrors) and use the same arithmetic order as the reference, so the
@@ -29,7 +32,34 @@ except ImportError:  # pragma: no cover
     numba = None
     HAVE_NUMBA = False
 
-__all__ = ["HAVE_NUMBA"]
+__all__ = ["HAVE_NUMBA", "note_missing_numba"]
+
+_WARNED_MISSING = False
+
+
+def note_missing_numba() -> None:
+    """Record one ``kernel="numba"`` request served by ``incremental``.
+
+    Warns once per process — not per dispatch, which used to spam
+    suites that resolve the kernel eagerly per partitioner — and bumps
+    ``kernels.numba_fallbacks`` every time so telemetry shows which
+    backend actually ran.
+    """
+    global _WARNED_MISSING
+    from repro import telemetry
+
+    if telemetry.enabled():
+        telemetry.active().counter("kernels.numba_fallbacks").inc()
+    if not _WARNED_MISSING:
+        _WARNED_MISSING = True
+        import warnings
+
+        warnings.warn(
+            "kernel='numba' requested but numba is not installed; "
+            "using the 'incremental' backend (bit-identical, slower)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
 
 if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed

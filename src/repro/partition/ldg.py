@@ -27,7 +27,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import Partitioner, register_partitioner
-from repro.partition.kernels import get_kernel
+from repro.partition.kernels import get_kernel, resolve_kernel_name
 from repro.utils.timing import WallClock
 from repro.utils.validation import check_positive
 
@@ -46,12 +46,14 @@ class LDGPartitioner(Partitioner):
         order: str = "natural",
         seed: int | None = None,
         kernel: str = "auto",
+        jobs: int | None = None,
     ) -> None:
         check_positive("slack", slack)
         self._slack = slack
         self._order = order
         self._seed = seed
-        self._kernel = get_kernel(kernel)
+        self._jobs = jobs
+        self._kernel = get_kernel(resolve_kernel_name(kernel, jobs))
 
     def _partition(
         self, graph: CSRGraph, num_parts: int, clock: WallClock
@@ -67,9 +69,28 @@ class LDGPartitioner(Partitioner):
         # choice through the buffered backend's chunked gather (bit-exact
         # with the others, so the knob still trades throughput only).
         gather = getattr(graph, "gather_block", None)
-        effective = "buffered" if gather is not None else self._kernel.name
+        parallel = self._kernel.name == "parallel"
+        if parallel:
+            effective = "parallel"
+        else:
+            effective = "buffered" if gather is not None else self._kernel.name
         with clock.measure("stream"):
-            if gather is not None:
+            if parallel:
+                from repro.partition.kernels.parallel_backend import ldg_parallel
+
+                dense = gather is None
+                ldg_parallel(
+                    graph.indptr if dense else None,
+                    graph.indices if dense else None,
+                    stream,
+                    parts,
+                    loads,
+                    capacity=float(capacity),
+                    gather=gather,
+                    graph=graph,
+                    jobs=self._jobs,
+                )
+            elif gather is not None:
                 from repro.partition.kernels.buffered import ldg_buffered
 
                 ldg_buffered(

@@ -1,0 +1,55 @@
+"""The scale bench's cell runner: hermetic env propagation, dense vs
+sharded vs parallel checksum parity, and the RLIMIT_AS budget plumbing
+behind the >RAM demonstration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scale import _env_snapshot, run_cell
+from repro.parallel import shm_available
+
+N, DEG, PARTS, SEED = 3000, 6.0, 4, 7
+
+
+class TestEnvSnapshot:
+    def test_collects_only_set_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "0.25")
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        snap = _env_snapshot()
+        assert snap["REPRO_CHAOS"] == "0.25"
+        assert snap["REPRO_JOBS"] == "3"
+        assert "REPRO_NO_CACHE" not in snap
+
+    def test_cache_dir_propagates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert _env_snapshot()["REPRO_CACHE_DIR"] == str(tmp_path)
+
+
+class TestRunCell:
+    def test_dense_and_sharded_agree(self, tmp_path):
+        dense = run_cell("dense", N, DEG, PARTS, SEED, kernel="buffered")
+        sharded = run_cell(
+            "sharded", N, DEG, PARTS, SEED,
+            kernel="buffered", spill_root=str(tmp_path), shard_size=512,
+        )
+        assert "error" not in dense and "error" not in sharded
+        assert dense["checksum"] == sharded["checksum"]
+        assert dense["num_arcs"] == sharded["num_arcs"]
+
+    @pytest.mark.skipif(not shm_available(), reason="no shared memory")
+    def test_parallel_cell_matches_serial(self, tmp_path):
+        base = run_cell("dense", N, DEG, PARTS, SEED, kernel="buffered")
+        par = run_cell("dense", N, DEG, PARTS, SEED, kernel="parallel", jobs=2)
+        assert "error" not in base and "error" not in par
+        assert par["checksum"] == base["checksum"]
+        assert par["kernel"] == "parallel" and par["jobs"] == 2
+
+    def test_mem_cap_reported_and_enforced(self):
+        # A budget far below the interpreter baseline must surface as a
+        # MemoryError report, not a hung or dead cell.
+        cell = run_cell(
+            "dense", N, DEG, PARTS, SEED, kernel="incremental", mem_cap_mb=48
+        )
+        assert cell == {"error": "MemoryError", "kind": "dense"}

@@ -319,3 +319,86 @@ class TestShardedTelemetry:
             pass
         sharded.gather_block(np.arange(100))
         assert telemetry.registry().metrics() == []
+
+
+# ----------------------------------------------------------------------
+# Parallel finalize
+# ----------------------------------------------------------------------
+class TestParallelFinalize:
+    """finalize(jobs=N) must be a pure throughput knob: same files,
+    same fingerprint, graceful degradation on torn input."""
+
+    def _build(self, directory, jobs):
+        n, m = 2000, 30000
+        src, dst = _random_edges(9, n, m)
+        builder = ShardedCSRBuilder(directory, num_vertices=n, shard_size=300)
+        for lo in range(0, m, 7000):
+            builder.add_edges(src[lo : lo + 7000], dst[lo : lo + 7000])
+        return builder.finalize(jobs=jobs)
+
+    def test_bit_identical_output_files(self, tmp_path):
+        import hashlib
+
+        serial = self._build(tmp_path / "serial", 1)
+        parallel = self._build(tmp_path / "parallel", 3)
+        assert parallel.fingerprint() == serial.fingerprint()
+
+        def digest(graph):
+            out = {}
+            for path in sorted(graph.spill_dir.iterdir()):
+                out[path.name] = hashlib.sha256(path.read_bytes()).hexdigest()
+            return out
+
+        assert digest(parallel) == digest(serial)
+
+    def test_no_bucket_files_left(self, tmp_path):
+        graph = self._build(tmp_path / "p", 2)
+        assert not list(graph.spill_dir.glob("bucket-*.tmp"))
+
+    def test_torn_bucket_surfaces_real_error(self, tmp_path):
+        builder = ShardedCSRBuilder(tmp_path / "b", num_vertices=60, shard_size=16)
+        builder.add_edges(*_random_edges(4, 60, 300))
+        for fh in builder._buckets.values():
+            fh.flush()
+        bucket = next((tmp_path / "b").glob("bucket-*.tmp"))
+        bucket.write_bytes(b"\x00" * 12)  # not a whole int64 pair
+        with pytest.raises(GraphFormatError, match="torn"):
+            builder.finalize(jobs=2)
+
+
+# ----------------------------------------------------------------------
+# LRU / evictions
+# ----------------------------------------------------------------------
+class TestShardLRU:
+    def test_evictions_counted_and_bounded(self, dense, tmp_path):
+        telemetry.set_enabled(True)
+        telemetry.reset()
+        spill_csr(dense, tmp_path / "lru", shard_size=128)
+        sharded = open_sharded(tmp_path / "lru", max_open_shards=3)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            sharded.gather_block(rng.integers(0, dense.num_vertices, 64))
+            assert len(sharded._open) <= 3
+        counters = telemetry.registry().snapshot()["counters"]
+        assert counters["graph.sharded.evictions"] > 0
+        # Every shard load is either still mapped or was evicted.
+        loads = counters["graph.sharded.bytes_mapped"]
+        assert loads > 0
+
+    def test_lru_bound_survives_interleaved_access(self, dense, tmp_path):
+        spill_csr(dense, tmp_path / "lru2", shard_size=128)
+        sharded = open_sharded(tmp_path / "lru2", max_open_shards=2)
+        for block in sharded.iter_blocks():
+            sharded.gather_block(np.arange(50))
+            sharded.take_arcs(np.arange(0, sharded.num_edges, 97))
+            assert len(sharded._open) <= 2
+        # results still correct after heavy eviction churn
+        assert sharded.fingerprint() == dense.fingerprint()
+
+    def test_evictions_silent_when_disabled(self, dense, tmp_path):
+        assert not telemetry.enabled()
+        spill_csr(dense, tmp_path / "lru3", shard_size=128)
+        sharded = open_sharded(tmp_path / "lru3", max_open_shards=1)
+        for _ in sharded.iter_blocks():
+            pass
+        assert telemetry.registry().metrics() == []

@@ -1,0 +1,44 @@
+"""Task functions for the worker-pool tests.
+
+Workers resolve tasks by ``module:attr`` spec, so these must live in an
+importable module — not inline in a test function (spawn children
+re-import, they do not inherit closures).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.parallel import attach_array
+
+
+def square(payload, state):
+    """Stash a call counter in worker state to prove persistence."""
+    state["calls"] = state.get("calls", 0) + 1
+    return payload * payload, state["calls"], os.getpid()
+
+
+def crash(payload, state):
+    """Die without replying — simulates an OOM-killed worker."""
+    os._exit(17)
+
+
+def boom(payload, state):
+    """Raise deterministically — the serial path would fail too."""
+    raise ValueError(f"bad payload {payload!r}")
+
+
+def shm_sum(payload, state):
+    """Attach a shared array and reduce a slice of it."""
+    arr = attach_array(payload["token"], state)
+    lo, hi = payload["lo"], payload["hi"]
+    return float(np.sum(arr[lo:hi]))
+
+
+def report_jobs(payload, state):
+    """Workers must always resolve jobs=1 (no nested fan-out)."""
+    from repro.parallel import resolve_jobs
+
+    return resolve_jobs(8)

@@ -19,6 +19,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig15_hash,
     multilevel_cmp,
     scaling,
+    serving_slo,
     table2_overhead,
     table3_cuts,
     vertexcut_cmp,

@@ -37,6 +37,7 @@ __all__ = [
     "make_partitioners",
     "run_app",
     "run_walk_job",
+    "run_serving_job",
     "run_fault_walk_job",
 ]
 
@@ -342,3 +343,109 @@ def run_app(
             },
         )
     return run
+
+
+def run_serving_job(
+    graph: CSRGraph,
+    assignment: PartitionAssignment,
+    *,
+    spec=None,
+    config=None,
+    seed: int = 0,
+):
+    """Serve one workload over one partition; returns a ServingResult.
+
+    Cached under the ``servetrace`` artifact kind. The cache key folds
+    in the canonical workload and serving-config documents, the seed,
+    *and the active chaos plan* — a degradation drill and a clean run
+    of the same workload are distinct artifacts, never aliased. The
+    replayed payload reconstructs the full :class:`ServingResult`
+    (per-query latencies, per-machine counters, cache stats), so a
+    cached run renders a byte-identical report.
+    """
+    from repro.resilience.chaos import active_plan
+    from repro.serving.simulator import ServingConfig, ServingResult, ServingSimulator
+    from repro.serving.workload import WorkloadSpec
+
+    spec = spec if spec is not None else WorkloadSpec(seed=seed)
+    config = config if config is not None else ServingConfig()
+    plan = active_plan()
+    key = artifacts.config_key(
+        "serving",
+        {
+            "workload": spec.to_dict(),
+            "config": config.to_dict(),
+            "seed": int(seed),
+            "chaos": plan.to_json() if plan is not None else "",
+        },
+    )
+    store = artifacts.get_store()
+    use = artifacts.cache_enabled()
+    fp = assignment.fingerprint()
+    if use:
+        payload = store.load("servetrace", fp, key)
+        if payload is not None:
+            return _serving_from_payload(payload)
+
+    trace = spec.generate(graph)
+    result = ServingSimulator(assignment, config, seed=seed).run(trace)
+    if use:
+        store.store(
+            "servetrace",
+            fp,
+            key,
+            {
+                "meta_json": np.array(
+                    json.dumps(
+                        {
+                            "num_machines": result.num_machines,
+                            "duration": result.duration,
+                            "makespan": result.makespan,
+                            "cache_stats": result.cache_stats,
+                        },
+                        sort_keys=True,
+                    )
+                ),
+                "latency": result.latency,
+                "shed": result.shed,
+                "kind": result.kind,
+                "machine_of_query": result.machine_of_query,
+                "queries": result.queries,
+                "shed_per_machine": result.shed_per_machine,
+                "batches": result.batches,
+                "degraded_batches": result.degraded_batches,
+                "cache_flushes": result.cache_flushes,
+                "busy_seconds": result.busy_seconds,
+                "messages": result.messages,
+                "__result__": result,
+            },
+        )
+    return result
+
+
+def _serving_from_payload(payload: dict):
+    from repro.serving.simulator import ServingResult
+
+    result = payload.get("__result__")
+    if result is not None:
+        return result
+    meta = json.loads(str(payload["meta_json"][()]))
+    result = ServingResult(
+        num_machines=int(meta["num_machines"]),
+        duration=float(meta["duration"]),
+        latency=np.asarray(payload["latency"]),
+        shed=np.asarray(payload["shed"]),
+        kind=np.asarray(payload["kind"]),
+        machine_of_query=np.asarray(payload["machine_of_query"]),
+        queries=np.asarray(payload["queries"]),
+        shed_per_machine=np.asarray(payload["shed_per_machine"]),
+        batches=np.asarray(payload["batches"]),
+        degraded_batches=np.asarray(payload["degraded_batches"]),
+        cache_flushes=np.asarray(payload["cache_flushes"]),
+        busy_seconds=np.asarray(payload["busy_seconds"]),
+        messages=np.asarray(payload["messages"]),
+        cache_stats=dict(meta["cache_stats"]),
+        makespan=float(meta["makespan"]),
+    )
+    payload["__result__"] = result
+    return result

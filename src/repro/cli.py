@@ -15,6 +15,8 @@ experiment id)::
                 --plan plan.json --out trace.json   # Chrome-tracing timeline
     repro-bench metrics --dataset twitter --algo bpart --app pagerank \\
                 --format prom               # run a job, dump its telemetry
+    repro-bench serve --dataset livejournal --algos bpart,hash \\
+                --out report.json           # serving SLOs per partitioner
 
 ``--telemetry out.json`` on bench/partition/trace enables collection
 for that run and writes the full snapshot (including the
@@ -47,6 +49,7 @@ _SUBCOMMANDS = (
     "trace",
     "metrics",
     "scale",
+    "serve",
 )
 
 
@@ -189,6 +192,124 @@ def _info_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=1)
     return p
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Simulate request serving over a partitioned cluster "
+        "and report per-partitioner SLOs (p50/p99, throughput, shed rate). "
+        "Deterministic: the same seed writes a byte-identical report.",
+    )
+    p.add_argument(
+        "--dataset",
+        choices=["livejournal", "twitter", "friendster"],
+        default="livejournal",
+    )
+    p.add_argument("--scale", type=float, default=1.0, help="dataset scale multiplier")
+    p.add_argument("--seed", type=int, default=0, help="workload + simulation seed")
+    p.add_argument("--parts", type=int, default=8, help="cluster machines")
+    p.add_argument(
+        "--algos",
+        default=None,
+        help="comma-separated partitioner names "
+        "(default: the serving comparison set incl. hash)",
+    )
+    p.add_argument("--users", type=int, default=2000, help="simulated users")
+    p.add_argument("--duration", type=float, default=1.0, help="simulated seconds")
+    p.add_argument("--rate", type=float, default=4000.0, help="aggregate queries/second")
+    p.add_argument("--zipf", type=float, default=1.1, help="popularity exponent")
+    p.add_argument("--locality", type=float, default=0.6, help="community-query fraction")
+    p.add_argument("--walk-frac", type=float, default=0.3, help="walk-query fraction")
+    p.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        default=None,
+        help="chaos-plan JSON (path or inline) fired at the serving sites",
+    )
+    p.add_argument("--out", help="write the canonical serving-report/v1 JSON here")
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the servetrace artifact cache (REPRO_NO_CACHE=1)",
+    )
+    _add_telemetry_flag(p)
+    return p
+
+
+def _run_serve(argv: list[str]) -> int:
+    args = _serve_parser().parse_args(argv)
+    import os
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+
+    from repro.bench.experiments._common import partition_with
+    from repro.bench.experiments.serving_slo import SERVING_PARTITIONERS
+    from repro.bench.workloads import run_serving_job
+    from repro.graph.datasets import load_dataset
+    from repro.resilience import ChaosPlan, active_plan, install_plan
+    from repro.serving import ServingConfig, ServingReport, WorkloadSpec
+
+    algos = (
+        [a.strip() for a in args.algos.split(",") if a.strip()]
+        if args.algos
+        else list(SERVING_PARTITIONERS)
+    )
+    chaos_label = ""
+    plan = None
+    if args.chaos:
+        text = args.chaos
+        if os.path.exists(text):
+            with open(text, encoding="utf-8") as fh:
+                text = fh.read()
+        plan = ChaosPlan.from_json(text)
+        chaos_label = f"{len(plan.rules)} rule(s)"
+
+    _telemetry_begin(args)
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    spec = WorkloadSpec(
+        users=args.users,
+        duration=args.duration,
+        rate=args.rate,
+        zipf_s=args.zipf,
+        locality=args.locality,
+        walk_frac=args.walk_frac,
+        seed=args.seed,
+    )
+    config = ServingConfig()
+    report = ServingReport(
+        spec,
+        config,
+        dataset=args.dataset,
+        num_parts=args.parts,
+        chaos=chaos_label,
+    )
+    prev = active_plan()
+    try:
+        if plan is not None:
+            install_plan(plan)
+        for name in algos:
+            assignment = partition_with(
+                name, graph, args.parts, seed=args.seed
+            ).assignment
+            report.add(
+                name,
+                run_serving_job(
+                    graph, assignment, spec=spec, config=config, seed=args.seed
+                ),
+            )
+    finally:
+        install_plan(prev)
+
+    print(report.render())
+    if args.out:
+        # Exact canonical bytes — two same-seed runs diff as identical.
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.out}")
+    _telemetry_end(args)
+    return 0
 
 
 def _run_bench(argv: list[str]) -> int:
@@ -615,6 +736,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(rest)
     if cmd == "metrics":
         return _run_metrics(rest)
+    if cmd == "serve":
+        return _run_serve(rest)
     if cmd == "scale":
         # Out-of-core scale sweep lives in its own module: it forks
         # subprocesses per cell and has no use for the shared flags here.

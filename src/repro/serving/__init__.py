@@ -1,0 +1,43 @@
+"""Request-serving traffic layer over the partitioned cluster.
+
+The paper evaluates partitioners on *batch* analytics; this package
+asks the production question instead: when the partitioned cluster
+serves an online query stream — k-hop neighbourhood reads and short
+random walks from millions of simulated users — what do the SLOs look
+like per partitioner? A discrete-event simulator
+(:mod:`~repro.serving.simulator`) drives an open-loop heavy-tailed
+workload (:mod:`~repro.serving.workload`) through per-machine service
+queues costed by the same cost/network models as the BSP engines, with
+a partition-aware block cache (:mod:`~repro.serving.cache`) and
+chaos-injection hooks for degradation drills. Results aggregate into
+byte-stable SLO reports (:mod:`~repro.serving.report`).
+
+Everything is deterministic: same seed ⇒ byte-identical report.
+"""
+
+from __future__ import annotations
+
+from repro.serving.cache import PartitionAwareCache
+from repro.serving.report import ServingReport
+from repro.serving.simulator import (
+    SITE_CACHE,
+    SITE_MACHINE,
+    ServingConfig,
+    ServingResult,
+    ServingSimulator,
+)
+from repro.serving.workload import KIND_KHOP, KIND_WALK, QueryTrace, WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "QueryTrace",
+    "KIND_KHOP",
+    "KIND_WALK",
+    "PartitionAwareCache",
+    "ServingConfig",
+    "ServingSimulator",
+    "ServingResult",
+    "ServingReport",
+    "SITE_MACHINE",
+    "SITE_CACHE",
+]

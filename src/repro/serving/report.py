@@ -1,0 +1,152 @@
+"""Serving SLO reports: canonical JSON + human-readable rendering.
+
+A :class:`ServingReport` collects one :class:`~repro.serving.simulator.
+ServingResult` summary per partitioner and serialises to a canonical
+``serving-report/v1`` document — sorted keys, compact separators, pure
+scalars — so two runs with the same seed produce **byte-identical**
+report files. That byte-stability is the acceptance gate of the
+serving layer and what lets CI diff two independent runs directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.bench.report import Table
+from repro.errors import ConfigurationError
+from repro.serving.simulator import ServingConfig, ServingResult
+from repro.serving.workload import WorkloadSpec
+
+__all__ = ["ServingReport"]
+
+REPORT_SCHEMA = "serving-report/v1"
+
+
+class ServingReport:
+    """SLO comparison across partitioners for one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        config: ServingConfig,
+        *,
+        dataset: str = "",
+        num_parts: int = 0,
+        chaos: str = "",
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.dataset = dataset
+        self.num_parts = int(num_parts)
+        self.chaos = chaos
+        self.entries: dict[str, dict] = {}
+
+    def add(self, partitioner: str, result: ServingResult) -> None:
+        """Record one partitioner's serving outcome."""
+        if partitioner in self.entries:
+            raise ConfigurationError(f"duplicate report entry for {partitioner!r}")
+        self.entries[partitioner] = result.summary()
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready document (entries keyed by partitioner name)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "dataset": self.dataset,
+            "num_parts": self.num_parts,
+            "chaos": self.chaos,
+            "workload": self.spec.to_dict(),
+            "workload_digest": self.spec.digest(),
+            "config": self.config.to_dict(),
+            "config_digest": self.config.digest(),
+            "entries": self.entries,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServingReport":
+        """Rehydrate a report document (schema tag required)."""
+        doc = json.loads(text)
+        if doc.get("schema") != REPORT_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported report schema {doc.get('schema')!r}; "
+                f"expected {REPORT_SCHEMA!r}"
+            )
+        spec = WorkloadSpec.from_json(json.dumps(doc["workload"]))
+        cfg_doc = dict(doc["config"])
+        cfg_doc.pop("schema", None)
+        cost = cfg_doc.pop("cost")
+        network = cfg_doc.pop("network")
+        from repro.cluster.cost import CostModel
+        from repro.cluster.network import NetworkModel
+
+        cores = cost["cores"]
+        config = ServingConfig(
+            **cfg_doc,
+            cost=CostModel(
+                step_cost=cost["step_cost"],
+                edge_cost=cost["edge_cost"],
+                vertex_cost=cost["vertex_cost"],
+                cores=tuple(cores) if isinstance(cores, list) else cores,
+            ),
+            network=NetworkModel(
+                bandwidth=network["bandwidth"],
+                latency=network["latency"],
+                message_bytes=network["message_bytes"],
+            ),
+        )
+        report = cls(
+            spec,
+            config,
+            dataset=doc.get("dataset", ""),
+            num_parts=doc.get("num_parts", 0),
+            chaos=doc.get("chaos", ""),
+        )
+        report.entries = {str(k): dict(v) for k, v in doc["entries"].items()}
+        return report
+
+    # -- rendering -----------------------------------------------------
+    def table(self) -> Table:
+        """SLO comparison table, rows in insertion order."""
+        table = Table(
+            title=f"serving SLOs — {self.dataset or 'dataset'} × {self.num_parts} machines",
+            headers=(
+                "partitioner",
+                "p50 ms",
+                "p99 ms",
+                "mean ms",
+                "qps",
+                "shed %",
+                "hit %",
+                "degraded",
+            ),
+        )
+        for name, e in self.entries.items():
+            table.add_row(
+                name,
+                f"{e['latency_p50'] * 1e3:.3f}",
+                f"{e['latency_p99'] * 1e3:.3f}",
+                f"{e['latency_mean'] * 1e3:.3f}",
+                f"{e['throughput']:.0f}",
+                f"{e['shed_rate'] * 100:.2f}",
+                f"{e['cache_hit_rate'] * 100:.1f}",
+                str(e["degraded_batches"] + e["cache_flushes"]),
+            )
+        return table
+
+    def render(self) -> str:
+        """Human-readable report for the CLI."""
+        lines = [self.table().render()]
+        lines.append(
+            f"workload {self.spec.digest()[:12]}  config {self.config.digest()[:12]}"
+            + (f"  chaos {self.chaos}" if self.chaos else "")
+        )
+        return "\n".join(lines)

@@ -1,0 +1,456 @@
+"""Discrete-event query-serving simulator over a partitioned cluster.
+
+Drives a :class:`~repro.serving.workload.QueryTrace` against the
+machines of a :class:`~repro.partition.assignment.PartitionAssignment`
+on a virtual clock. Each query is routed to the machine owning its
+target vertex; machines serve FIFO in coalesced batches, so a batch
+pays the network latency once over all its remote reads — the
+batching economics real serving systems rely on. Service time per
+batch is costed with the same :class:`~repro.cluster.cost.CostModel`
+and :class:`~repro.cluster.network.NetworkModel` the BSP engines use
+(via :meth:`NetworkModel.request_cost`), which is what makes serving
+SLOs comparable across partitioners: a hub-heavy part means longer
+per-batch work, more remote reads across the cut, and a colder cache —
+all three show up in the tail.
+
+Admission control is a bounded per-machine queue with deterministic
+shedding: an arrival finding the queue full is dropped and counted,
+never retried (open-loop users do not back off).
+
+Determinism contract: the event heap orders by ``(time, seq)`` where
+arrival events take seqs ``0..q-1`` in trace order and completion
+events draw from a counter starting at ``q`` — no float tie ever
+decides an ordering. Walk randomness derives from
+``derive_rng(seed, salt, machine, batch)``. Same (assignment, trace,
+config, seed, chaos plan) ⇒ identical :class:`ServingResult`.
+
+Chaos sites (see :mod:`repro.resilience.chaos`):
+
+- ``serving.machine`` — an injected fault (``exception``/``ioerror``)
+  degrades that batch by ``slowdown_factor`` (a straggling replica).
+- ``serving.cache`` — an injected fault flushes the machine's block
+  cache (cache-node restart / corruption), so subsequent batches pay
+  cold-start fetches.
+
+Keys are ``"m{machine}:b{batch}"``; rate-based rules therefore select
+a deterministic subset of batches. Direct ``hang``/``kill`` kinds at
+these sites act on the *host* process (real sleep / exit) — plans
+aimed at the serving layer should use ``exception`` or ``ioerror``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.cluster.cost import CostModel
+from repro.cluster.network import NetworkModel
+from repro.engines.knightking.transition import uniform_neighbor
+from repro.errors import ConfigurationError
+from repro.partition.assignment import PartitionAssignment
+from repro.resilience.chaos import ChaosError, maybe_inject
+from repro.serving.cache import PartitionAwareCache
+from repro.serving.workload import KIND_KHOP, KIND_WALK, QueryTrace
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["ServingConfig", "ServingSimulator", "ServingResult"]
+
+SERVING_SCHEMA = "serving/v1"
+
+SITE_MACHINE = "serving.machine"
+SITE_CACHE = "serving.cache"
+
+_SALT_WALK = 0x5EAF
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Serving-cluster knobs (the workload lives in ``WorkloadSpec``).
+
+    Attributes
+    ----------
+    queue_limit:      max queries waiting per machine; beyond it,
+                      arrivals are shed.
+    batch_max:        max queries coalesced into one service batch.
+    cache_blocks:     block capacity of each machine's LRU cache.
+    cache_block_size: vertices per cache block.
+    block_bytes:      wire size of one block fetch from storage.
+    slowdown_factor:  service-time multiplier a ``serving.machine``
+                      chaos hit applies to the afflicted batch.
+    cost:             per-machine computation cost model.
+    network:          latency/bandwidth wire model.
+    """
+
+    queue_limit: int = 64
+    batch_max: int = 8
+    cache_blocks: int = 256
+    cache_block_size: int = 64
+    block_bytes: int = 4096
+    slowdown_factor: float = 4.0
+    cost: CostModel = field(default_factory=CostModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        check_positive("queue_limit", self.queue_limit)
+        check_positive("batch_max", self.batch_max)
+        check_positive("cache_blocks", self.cache_blocks)
+        check_positive("cache_block_size", self.cache_block_size)
+        check_positive("block_bytes", self.block_bytes)
+        if self.slowdown_factor < 1.0:
+            raise ConfigurationError(
+                f"slowdown_factor must be >= 1, got {self.slowdown_factor!r}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, cost/network knobs inlined."""
+        cores = self.cost.cores
+        return {
+            "schema": SERVING_SCHEMA,
+            "queue_limit": int(self.queue_limit),
+            "batch_max": int(self.batch_max),
+            "cache_blocks": int(self.cache_blocks),
+            "cache_block_size": int(self.cache_block_size),
+            "block_bytes": int(self.block_bytes),
+            "slowdown_factor": float(self.slowdown_factor),
+            "cost": {
+                "step_cost": float(self.cost.step_cost),
+                "edge_cost": float(self.cost.edge_cost),
+                "vertex_cost": float(self.cost.vertex_cost),
+                "cores": list(cores) if isinstance(cores, tuple) else int(cores),
+            },
+            "network": {
+                "bandwidth": float(self.network.bandwidth),
+                "latency": float(self.network.latency),
+                "message_bytes": int(self.network.message_bytes),
+            },
+        }
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical ``serving/v1`` JSON."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving run.
+
+    Per-query arrays align with the trace; ``latency`` is NaN for shed
+    queries. Per-machine arrays have one entry per cluster machine.
+    """
+
+    num_machines: int
+    duration: float
+    latency: np.ndarray  # float64 seconds, NaN = shed
+    shed: np.ndarray  # bool
+    kind: np.ndarray  # uint8, copied from the trace
+    machine_of_query: np.ndarray  # int64
+    queries: np.ndarray  # int64 per machine (admitted)
+    shed_per_machine: np.ndarray  # int64
+    batches: np.ndarray  # int64
+    degraded_batches: np.ndarray  # int64 (serving.machine chaos hits)
+    cache_flushes: np.ndarray  # int64 (serving.cache chaos hits)
+    busy_seconds: np.ndarray  # float64
+    messages: np.ndarray  # int64 remote reads issued per machine
+    cache_stats: dict
+    makespan: float
+
+    @property
+    def num_queries(self) -> int:
+        """Total arrivals (served + shed)."""
+        return int(self.latency.size)
+
+    @property
+    def completed(self) -> int:
+        """Queries that finished service."""
+        return int(self.num_queries - self.shed.sum())
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals dropped by admission control."""
+        return float(self.shed.sum() / self.latency.size) if self.latency.size else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per simulated second of offered traffic."""
+        return self.completed / self.duration if self.duration else 0.0
+
+    def completed_latencies(self) -> np.ndarray:
+        """Sorted latencies of completed queries."""
+        lat = self.latency[~self.shed]
+        return np.sort(lat)
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank quantile of completed latencies (0.0 if none)."""
+        if not (0.0 < q <= 1.0):
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q!r}")
+        lat = self.completed_latencies()
+        if lat.size == 0:
+            return 0.0
+        rank = max(0, int(np.ceil(q * lat.size)) - 1)
+        return float(lat[rank])
+
+    def mean_latency(self) -> float:
+        """Mean completed latency (0.0 if nothing completed)."""
+        lat = self.completed_latencies()
+        return float(lat.mean()) if lat.size else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready SLO summary (deterministic, byte-stable)."""
+        return {
+            "queries": self.num_queries,
+            "completed": self.completed,
+            "shed": int(self.shed.sum()),
+            "shed_rate": self.shed_rate,
+            "throughput": self.throughput,
+            "latency_p50": self.latency_quantile(0.50),
+            "latency_p90": self.latency_quantile(0.90),
+            "latency_p99": self.latency_quantile(0.99),
+            "latency_mean": self.mean_latency(),
+            "latency_max": float(self.completed_latencies()[-1]) if self.completed else 0.0,
+            "makespan": self.makespan,
+            "messages": int(self.messages.sum()),
+            "batches": int(self.batches.sum()),
+            "degraded_batches": int(self.degraded_batches.sum()),
+            "cache_flushes": int(self.cache_flushes.sum()),
+            "cache_hit_rate": float(self.cache_stats.get("hit_rate", 0.0)),
+            "busy_max": float(self.busy_seconds.max()) if self.num_machines else 0.0,
+            "busy_mean": float(self.busy_seconds.mean()) if self.num_machines else 0.0,
+        }
+
+
+class ServingSimulator:
+    """Event-driven serving run over one partition assignment."""
+
+    def __init__(
+        self,
+        assignment: PartitionAssignment,
+        config: ServingConfig | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.assignment = assignment
+        self.config = config if config is not None else ServingConfig()
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, trace: QueryTrace) -> ServingResult:
+        """Serve the whole trace; returns the deterministic result."""
+        cfg = self.config
+        graph = self.assignment.graph
+        parts = self.assignment.parts
+        k = self.assignment.num_parts
+        times = trace.times
+        vertex = trace.vertex
+        kinds = trace.kind
+        q = trace.num_queries
+        if vertex.size and int(vertex.max()) >= graph.num_vertices:
+            raise ConfigurationError(
+                "trace targets vertices outside the assigned graph"
+            )
+
+        machine_of_query = parts[vertex].astype(np.int64)
+        self._trace = trace
+        cache = PartitionAwareCache(
+            k, block_size=cfg.cache_block_size, capacity=cfg.cache_blocks
+        )
+
+        latency = np.full(q, np.nan, dtype=np.float64)
+        shed = np.zeros(q, dtype=bool)
+        queries = np.zeros(k, dtype=np.int64)
+        shed_pm = np.zeros(k, dtype=np.int64)
+        batches = np.zeros(k, dtype=np.int64)
+        degraded = np.zeros(k, dtype=np.int64)
+        flushes = np.zeros(k, dtype=np.int64)
+        busy_sec = np.zeros(k, dtype=np.float64)
+        messages = np.zeros(k, dtype=np.int64)
+
+        # Per-machine FIFO queues (head index instead of pop(0)).
+        queue: list[list[int]] = [[] for _ in range(k)]
+        head = [0] * k
+        busy = [False] * k
+        inflight: list[list[int]] = [[] for _ in range(k)]
+        batch_seq = [0] * k
+        makespan = 0.0
+
+        # (time, seq, is_done, payload): arrivals carry their query
+        # index with seqs 0..q-1; completions carry the machine id with
+        # seqs from `next_seq`. Ties on time resolve by seq — total
+        # order, no float comparisons beyond the clock itself.
+        heap: list[tuple[float, int, int, int]] = [
+            (float(times[i]), i, 0, i) for i in range(q)
+        ]
+        heapq.heapify(heap)
+        next_seq = q
+
+        def start_batch(m: int, now: float) -> None:
+            nonlocal next_seq, makespan
+            take = min(cfg.batch_max, len(queue[m]) - head[m])
+            batch = queue[m][head[m] : head[m] + take]
+            head[m] += take
+            if head[m] > 4096 and head[m] * 2 > len(queue[m]):
+                del queue[m][: head[m]]
+                head[m] = 0
+            svc = self._serve_batch(
+                m, batch, batch_seq[m], cache, messages, degraded, flushes
+            )
+            batch_seq[m] += 1
+            batches[m] += 1
+            busy_sec[m] += svc
+            busy[m] = True
+            inflight[m] = batch
+            done = now + svc
+            makespan = max(makespan, done)
+            heapq.heappush(heap, (done, next_seq, 1, m))
+            next_seq += 1
+
+        while heap:
+            now, _, is_done, payload = heapq.heappop(heap)
+            if is_done:
+                m = payload
+                for qi in inflight[m]:
+                    latency[qi] = now - float(times[qi])
+                inflight[m] = []
+                busy[m] = False
+                if len(queue[m]) > head[m]:
+                    start_batch(m, now)
+            else:
+                qi = payload
+                m = int(machine_of_query[qi])
+                if len(queue[m]) - head[m] >= cfg.queue_limit:
+                    shed[qi] = True
+                    shed_pm[m] += 1
+                    continue
+                queue[m].append(qi)
+                queries[m] += 1
+                if not busy[m]:
+                    start_batch(m, now)
+
+        result = ServingResult(
+            num_machines=k,
+            duration=float(trace.spec.duration),
+            latency=latency,
+            shed=shed,
+            kind=kinds.copy(),
+            machine_of_query=machine_of_query,
+            queries=queries,
+            shed_per_machine=shed_pm,
+            batches=batches,
+            degraded_batches=degraded,
+            cache_flushes=flushes,
+            busy_seconds=busy_sec,
+            messages=messages,
+            cache_stats=cache.stats(),
+            makespan=float(makespan),
+        )
+        self._record_telemetry(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _serve_batch(
+        self,
+        m: int,
+        batch: list[int],
+        batch_id: int,
+        cache: PartitionAwareCache,
+        messages: np.ndarray,
+        degraded: np.ndarray,
+        flushes: np.ndarray,
+    ) -> float:
+        """Service seconds for one batch, with side-effect accounting."""
+        cfg = self.config
+        graph = self.assignment.graph
+        parts = self.assignment.parts
+        trace = self._trace
+        idx = np.asarray(batch, dtype=np.int64)
+        verts = trace.vertex[idx]
+        kinds = trace.kind[idx]
+        touched = [verts]
+        edge_work = 0.0
+        step_work = 0.0
+        remote = 0
+
+        # k-hop neighbourhood reads: hop-1 scans the full adjacency
+        # (edge-balance shows up as work), message/cache/hop-2 effects
+        # use a deterministic capped prefix of the neighbour list.
+        for v in verts[kinds == KIND_KHOP].tolist():
+            deg = int(graph.degrees[v])
+            edge_work += deg
+            if deg == 0:
+                continue
+            span = min(deg, trace.spec.khop_cap)
+            start = int(graph.indptr[v])
+            nbrs = graph.take_arcs(np.arange(start, start + span, dtype=np.int64)).astype(
+                np.int64
+            )
+            remote += int(np.count_nonzero(parts[nbrs] != m))
+            if trace.spec.khop == 2:
+                edge_work += float(graph.degrees[nbrs].sum())
+            touched.append(nbrs)
+
+        # walk queries: advance KnightKing-style uniform transitions,
+        # vectorised across the batch's walkers, RNG derived per
+        # (seed, machine, batch) so runs replay bit-identically.
+        walk_pos = verts[kinds == KIND_WALK]
+        if walk_pos.size:
+            wrng = derive_rng(self.seed, _SALT_WALK, m, batch_id)
+            positions = walk_pos.copy()
+            for _ in range(trace.spec.walk_steps):
+                targets, dead = uniform_neighbor(graph, positions, wrng)
+                alive = ~dead
+                if not alive.any():
+                    break
+                positions = targets[alive]
+                step_work += float(positions.size)
+                remote += int(np.count_nonzero(parts[positions] != m))
+                touched.append(positions)
+
+        fetched = cache.touch(m, np.concatenate(touched))
+        messages[m] += remote
+
+        work = cfg.cost.compute_seconds(
+            steps=step_work, edges=edge_work, vertices=float(len(batch))
+        )
+        svc = float(work[m]) if np.ndim(work) else float(work)
+        if remote:
+            svc += cfg.network.request_cost(remote)
+        if fetched:
+            svc += cfg.network.request_cost(fetched, cfg.block_bytes)
+
+        key = f"m{m}:b{batch_id}"
+        try:
+            maybe_inject(SITE_CACHE, key)
+        except (ChaosError, OSError):
+            cache.flush(m)
+            flushes[m] += 1
+        try:
+            maybe_inject(SITE_MACHINE, key)
+        except (ChaosError, OSError):
+            svc *= cfg.slowdown_factor
+            degraded[m] += 1
+        return svc
+
+    # ------------------------------------------------------------------
+    def _record_telemetry(self, result: ServingResult) -> None:
+        """Aggregate metrics, recorded once after the event loop."""
+        if not telemetry.enabled():
+            return
+        reg = telemetry.active()
+        reg.counter("serving.queries").inc(result.num_queries)
+        reg.counter("serving.shed").inc(int(result.shed.sum()))
+        reg.counter("serving.batches").inc(int(result.batches.sum()))
+        reg.counter("serving.messages").inc(int(result.messages.sum()))
+        reg.counter("serving.degraded_batches").inc(int(result.degraded_batches.sum()))
+        reg.counter("serving.cache_flushes").inc(int(result.cache_flushes.sum()))
+        reg.counter("serving.cache.hits").inc(result.cache_stats["hits"])
+        reg.counter("serving.cache.misses").inc(result.cache_stats["misses"])
+        reg.gauge("serving.cache.hit_rate").set(result.cache_stats["hit_rate"])
+        hist = reg.bounded_histogram("serving.latency_seconds")
+        for value in result.completed_latencies().tolist():
+            hist.observe(value)

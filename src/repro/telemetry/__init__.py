@@ -39,12 +39,14 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
+    BoundedHistogram,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
     TimerMetric,
+    log_buckets,
     metric_key,
 )
 
@@ -52,7 +54,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "BoundedHistogram",
     "TimerMetric",
+    "log_buckets",
     "MetricsRegistry",
     "NullRegistry",
     "DEFAULT_BUCKETS",

@@ -90,7 +90,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             pname = _prom_name(m.name)
             header(pname, "gauge")
             lines.append(f"{pname}{_prom_labels(m.labels)} {_prom_value(m.value)}")
-        elif m.kind == "histogram":
+        elif m.kind in ("histogram", "bounded_histogram"):
             pname = _prom_name(m.name)
             header(pname, "histogram")
             cumulative = 0
@@ -149,7 +149,7 @@ def render_table(registry: MetricsRegistry) -> str:
             rows.append(f"counter    {m.key:56s} {_prom_value(m.value)}")
         elif m.kind == "gauge":
             rows.append(f"gauge      {m.key:56s} {m.value:.6g}")
-        elif m.kind == "histogram":
+        elif m.kind in ("histogram", "bounded_histogram"):
             rows.append(
                 f"histogram  {m.key:56s} count={m.count} sum={m.sum:.6g}"
                 + (f" min={m.min:.3g} max={m.max:.3g}" if m.count else "")

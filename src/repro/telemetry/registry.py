@@ -41,10 +41,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "BoundedHistogram",
     "TimerMetric",
     "MetricsRegistry",
     "NullRegistry",
     "DEFAULT_BUCKETS",
+    "log_buckets",
     "metric_key",
 ]
 
@@ -65,6 +67,32 @@ DEFAULT_BUCKETS = (
     10.0,
     60.0,
 )
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 4) -> tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds covering ``[lo, hi]``.
+
+    ``per_decade`` buckets per factor of 10, rounded to 6 significant
+    digits so the bounds (and therefore every JSON export keyed on
+    them) are reproducible across platforms. The result always starts
+    at ``lo`` and ends at a bound ``>= hi``; +inf overflow stays
+    implicit as in :class:`Histogram`.
+    """
+    if not (0.0 < lo < hi):
+        raise ConfigurationError(
+            f"log_buckets needs 0 < lo < hi, got lo={lo}, hi={hi}"
+        )
+    if per_decade < 1:
+        raise ConfigurationError(f"per_decade must be >= 1, got {per_decade}")
+    ratio = 10.0 ** (1.0 / per_decade)
+    bounds: list[float] = []
+    edge = float(lo)
+    while True:
+        bounds.append(float(f"{edge:.6g}"))
+        if bounds[-1] >= hi:
+            break
+        edge *= ratio
+    return tuple(bounds)
 
 
 def metric_key(name: str, labels: tuple[tuple[str, object], ...]) -> str:
@@ -183,6 +211,69 @@ class Histogram(_Metric):
         return out
 
 
+class BoundedHistogram(Histogram):
+    """Histogram over a *bounded*, log-spaced domain with quantile reads.
+
+    The serving layer records latency distributions, and a latency
+    distribution needs what the plain :class:`Histogram` does not give:
+
+    - **log-spaced buckets** — tail quantiles (p99) of heavy-tailed
+      latencies need resolution across decades, not linear steps;
+    - **bounded memory** — the bucket list is fixed at creation from
+      ``(lo, hi, per_decade)``, so recording a million observations
+      costs the same as recording ten;
+    - **deterministic quantiles** — :meth:`quantile` reads the bucket
+      edges, a pure function of the counts, so two identical runs
+      export identical values.
+
+    Observations below ``lo`` land in the first bucket, above ``hi`` in
+    the +inf overflow; ``count``/``sum``/``min``/``max`` stay exact.
+    """
+
+    __slots__ = ("lo", "hi", "per_decade")
+    kind = "bounded_histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple,
+        *,
+        lo: float = 1e-5,
+        hi: float = 60.0,
+        per_decade: int = 4,
+    ) -> None:
+        super().__init__(name, labels, buckets=log_buckets(lo, hi, per_decade))
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.per_decade = int(per_decade)
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge containing the ``q``-quantile (0 < q <= 1).
+
+        Returns 0.0 while empty. Observations in the overflow bucket
+        report the exact maximum seen — the tail must never be clipped
+        to ``hi`` silently.
+        """
+        if not (0.0 < q <= 1.0):
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            cumulative += n
+            if cumulative >= rank:
+                return bound
+        return self.max
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out["lo"] = self.lo
+        out["hi"] = self.hi
+        out["per_decade"] = self.per_decade
+        return out
+
+
 class TimerMetric(_Metric):
     """Accumulated wall-clock seconds (count + total).
 
@@ -245,7 +336,13 @@ class _SpanContext:
         )
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram, "timer": TimerMetric}
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "bounded_histogram": BoundedHistogram,
+    "timer": TimerMetric,
+}
 
 
 class MetricsRegistry:
@@ -290,6 +387,25 @@ class MetricsRegistry:
         if buckets is None:
             return self._series(Histogram, name, labels)
         return self._series(Histogram, name, labels, buckets=buckets)
+
+    def bounded_histogram(
+        self,
+        name: str,
+        *,
+        lo: float = 1e-5,
+        hi: float = 60.0,
+        per_decade: int = 4,
+        **labels,
+    ) -> BoundedHistogram:
+        """Log-spaced bounded histogram (latency distributions).
+
+        Like :meth:`histogram`, the bucket layout is fixed by the first
+        creation of the series; later lookups with different bounds
+        return the existing series unchanged.
+        """
+        return self._series(
+            BoundedHistogram, name, labels, lo=lo, hi=hi, per_decade=per_decade
+        )
 
     def timer(self, name: str, **labels) -> TimerMetric:
         return self._series(TimerMetric, name, labels)
@@ -337,7 +453,7 @@ class MetricsRegistry:
                 counters[m.key] = m.as_dict()
             elif m.kind == "gauge":
                 gauges[m.key] = m.as_dict()
-            elif m.kind == "histogram":
+            elif m.kind in ("histogram", "bounded_histogram"):
                 histograms[m.key] = m.as_dict()
             else:
                 timers[m.key] = m.as_dict()
@@ -378,6 +494,9 @@ class _NullMetric:
     def observe(self, value: float) -> None:
         pass
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def add(self, seconds: float) -> None:
         pass
 
@@ -414,6 +533,11 @@ class NullRegistry:
         return _NULL_METRIC
 
     def histogram(self, name: str, *, buckets=None, **labels) -> _NullMetric:
+        return _NULL_METRIC
+
+    def bounded_histogram(
+        self, name: str, *, lo: float = 1e-5, hi: float = 60.0, per_decade: int = 4, **labels
+    ) -> _NullMetric:
         return _NULL_METRIC
 
     def timer(self, name: str, **labels) -> _NullMetric:

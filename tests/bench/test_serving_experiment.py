@@ -1,0 +1,108 @@
+"""The serving_slo experiment and the servetrace artifact kind."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import artifacts
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.workloads import run_serving_job
+from repro.graph import social_graph
+from repro.partition.base import get_partitioner
+from repro.resilience import ChaosPlan, ChaosRule, install_plan
+from repro.serving import SITE_MACHINE, ServingConfig, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(1200, 8.0, 2.2, rng=17)
+
+
+@pytest.fixture(scope="module")
+def assignment(graph):
+    return get_partitioner("bpart", seed=0).partition(graph, 4).assignment
+
+
+@pytest.fixture
+def spec():
+    return WorkloadSpec(users=100, duration=0.25, rate=600.0, seed=2)
+
+
+class TestServetraceArtifact:
+    def test_replay_is_identical(self, graph, assignment, spec):
+        fresh = run_serving_job(graph, assignment, spec=spec, seed=2)
+        store = artifacts.get_store()
+        before = store.stats.by_kind.get("servetrace", {}).get("hits", 0)
+        cached = run_serving_job(graph, assignment, spec=spec, seed=2)
+        assert store.stats.by_kind["servetrace"]["hits"] == before + 1
+        assert cached.summary() == fresh.summary()
+        np.testing.assert_array_equal(cached.latency, fresh.latency)
+
+    def test_disk_replay_reconstructs_result(self, graph, assignment, spec):
+        fresh = run_serving_job(graph, assignment, spec=spec, seed=2)
+        # Drop the in-memory layer so the next load comes from disk.
+        artifacts.reset_store()
+        cached = run_serving_job(graph, assignment, spec=spec, seed=2)
+        assert cached.summary() == fresh.summary()
+        assert cached.cache_stats == fresh.cache_stats
+        np.testing.assert_array_equal(cached.shed, fresh.shed)
+
+    def test_chaos_plan_is_part_of_the_key(self, graph, assignment, spec):
+        clean = run_serving_job(graph, assignment, spec=spec, seed=2)
+        install_plan(
+            ChaosPlan(seed=1, rules=(ChaosRule(site=SITE_MACHINE, kind="exception"),))
+        )
+        try:
+            chaotic = run_serving_job(graph, assignment, spec=spec, seed=2)
+        finally:
+            install_plan(None)
+        # distinct artifacts — the chaotic run must not replay the clean one
+        assert chaotic.degraded_batches.sum() > 0
+        assert clean.degraded_batches.sum() == 0
+        assert chaotic.summary() != clean.summary()
+
+    def test_seed_and_config_change_key(self, graph, assignment, spec):
+        a = run_serving_job(graph, assignment, spec=spec, seed=2)
+        b = run_serving_job(graph, assignment, spec=spec, seed=3)
+        c = run_serving_job(
+            graph, assignment, spec=spec, config=ServingConfig(batch_max=2), seed=2
+        )
+        assert a.summary() != b.summary() or a.summary() != c.summary()
+        assert int(c.batches.sum()) >= int(a.batches.sum())
+
+
+class TestServingSloExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("serving_slo", ExperimentConfig(scale=0.1, seed=1))
+
+    def test_ranks_all_partitioners(self, result):
+        clean = result.data[("report", "clean")]
+        from repro.bench.experiments.serving_slo import SERVING_PARTITIONERS
+
+        assert set(clean["entries"]) == set(SERVING_PARTITIONERS)
+        for entry in clean["entries"].values():
+            assert entry["completed"] > 0
+            assert entry["latency_p99"] >= entry["latency_p50"] > 0
+
+    def test_chaos_run_completes_with_bounded_shed(self, result):
+        chaos = result.data[("report", "chaos")]
+        for entry in chaos["entries"].values():
+            assert entry["degraded_batches"] + entry["cache_flushes"] > 0
+            assert entry["shed_rate"] < 0.5
+            assert entry["completed"] > 0
+
+    def test_renders_tables_and_chart(self, result):
+        text = result.render()
+        assert "serving SLOs" in text
+        assert "degradation drill" in text
+        assert "p99" in text
+
+    def test_deterministic_across_runs(self, result):
+        import json
+
+        again = run_experiment("serving_slo", ExperimentConfig(scale=0.1, seed=1))
+        assert json.dumps(result.to_dict(), sort_keys=True) == json.dumps(
+            again.to_dict(), sort_keys=True
+        )

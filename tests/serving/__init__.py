@@ -1,0 +1,1 @@
+"""Tests for the request-serving traffic layer."""

@@ -1,0 +1,92 @@
+"""Partition-aware block cache: LRU mechanics and telemetry counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import PartitionAwareCache
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PartitionAwareCache(0)
+    with pytest.raises(ConfigurationError):
+        PartitionAwareCache(2, block_size=0)
+    with pytest.raises(ConfigurationError):
+        PartitionAwareCache(2, capacity=-1)
+
+
+def test_cold_miss_then_hit():
+    cache = PartitionAwareCache(1, block_size=4, capacity=8)
+    fetched = cache.touch(0, np.array([0, 1, 2, 3]))  # one block
+    assert fetched == 1
+    assert cache.misses[0] == 4 and cache.hits[0] == 0
+    fetched = cache.touch(0, np.array([2, 3]))
+    assert fetched == 0
+    assert cache.hits[0] == 2
+    assert cache.hit_rate(0) == pytest.approx(2 / 6)
+
+
+def test_per_vertex_counting_within_one_call():
+    cache = PartitionAwareCache(1, block_size=4, capacity=8)
+    # 3 vertices in block 0, 1 in block 1, both cold: 4 misses, 2 fetches.
+    assert cache.touch(0, np.array([0, 1, 2, 4])) == 2
+    assert cache.misses[0] == 4
+    assert cache.miss_blocks[0] == 2
+
+
+def test_lru_eviction_order():
+    cache = PartitionAwareCache(1, block_size=1, capacity=2)
+    cache.touch(0, np.array([10]))
+    cache.touch(0, np.array([20]))
+    cache.touch(0, np.array([10]))  # refresh 10 → 20 is now LRU
+    cache.touch(0, np.array([30]))  # evicts 20
+    assert cache.evictions[0] == 1
+    assert cache.touch(0, np.array([10])) == 0  # still resident
+    assert cache.touch(0, np.array([20])) == 1  # was evicted
+
+
+def test_capacity_respected():
+    cache = PartitionAwareCache(1, block_size=1, capacity=3)
+    cache.touch(0, np.arange(100))
+    assert cache.resident_blocks(0) == 3
+    assert cache.evictions[0] == 97
+
+
+def test_machines_isolated():
+    cache = PartitionAwareCache(2, block_size=1, capacity=4)
+    cache.touch(0, np.array([1, 2]))
+    assert cache.touch(1, np.array([1, 2])) == 2  # cold on machine 1
+    assert cache.hits[1] == 0
+
+
+def test_flush():
+    cache = PartitionAwareCache(1, block_size=1, capacity=8)
+    cache.touch(0, np.array([1, 2, 3]))
+    assert cache.flush(0) == 3
+    assert cache.resident_blocks(0) == 0
+    assert cache.flushes[0] == 1
+    assert cache.touch(0, np.array([1])) == 1  # cold again
+
+
+def test_empty_touch_is_noop():
+    cache = PartitionAwareCache(1)
+    assert cache.touch(0, np.array([], dtype=np.int64)) == 0
+    assert cache.hit_rate() == 0.0
+
+
+def test_stats_shape():
+    cache = PartitionAwareCache(2, block_size=2, capacity=4)
+    cache.touch(0, np.array([0, 1, 2]))
+    cache.touch(0, np.array([0]))
+    stats = cache.stats()
+    assert stats == {
+        "hits": 1,
+        "misses": 3,
+        "miss_blocks": 2,
+        "evictions": 0,
+        "flushes": 0,
+        "hit_rate": 0.25,
+    }

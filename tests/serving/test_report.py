@@ -1,0 +1,66 @@
+"""Serving SLO reports: canonical bytes, roundtrip, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import social_graph
+from repro.partition.base import get_partitioner
+from repro.serving import ServingConfig, ServingReport, ServingSimulator, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def populated():
+    graph = social_graph(1200, 8.0, 2.2, rng=21)
+    spec = WorkloadSpec(users=150, duration=0.3, rate=800.0, seed=6)
+    trace = spec.generate(graph)
+    config = ServingConfig()
+    report = ServingReport(spec, config, dataset="livejournal", num_parts=4)
+    for name in ("chunk-v", "hash"):
+        assignment = get_partitioner(name, seed=0).partition(graph, 4).assignment
+        report.add(name, ServingSimulator(assignment, config, seed=6).run(trace))
+    return report
+
+
+def test_duplicate_entry_rejected(populated):
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        populated.add("hash", None)
+
+
+def test_canonical_bytes_stable(populated):
+    assert populated.to_json() == populated.to_json()
+    assert populated.digest() == populated.digest()
+
+
+def test_roundtrip_preserves_bytes(populated):
+    text = populated.to_json()
+    again = ServingReport.from_json(text)
+    assert again.to_json() == text
+    assert again.entries == populated.entries
+    assert again.spec == populated.spec
+    assert again.config == populated.config
+
+
+def test_from_json_rejects_wrong_schema(populated):
+    bad = populated.to_json().replace("serving-report/v1", "serving-report/v0")
+    with pytest.raises(ConfigurationError, match="schema"):
+        ServingReport.from_json(bad)
+
+
+def test_render_lists_partitioners(populated):
+    text = populated.render()
+    assert "chunk-v" in text and "hash" in text
+    assert "p99" in text
+    assert populated.spec.digest()[:12] in text
+
+
+def test_document_carries_identities(populated):
+    doc = populated.to_dict()
+    assert doc["schema"] == "serving-report/v1"
+    assert doc["workload_digest"] == populated.spec.digest()
+    assert doc["config_digest"] == populated.config.digest()
+    assert doc["dataset"] == "livejournal"
+    assert set(doc["entries"]) == {"chunk-v", "hash"}
+    for entry in doc["entries"].values():
+        assert entry["latency_p99"] >= entry["latency_p50"] > 0

@@ -1,0 +1,196 @@
+"""Discrete-event serving simulator: determinism, shedding, chaos."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.graph import social_graph
+from repro.partition import PartitionAssignment
+from repro.partition.base import get_partitioner
+from repro.resilience import ChaosPlan, ChaosRule, install_plan
+from repro.serving import (
+    SITE_CACHE,
+    SITE_MACHINE,
+    ServingConfig,
+    ServingSimulator,
+    WorkloadSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(1500, 10.0, 2.2, rng=11)
+
+
+@pytest.fixture(scope="module")
+def assignment(graph):
+    return get_partitioner("bpart", seed=0).partition(graph, 4).assignment
+
+
+@pytest.fixture(scope="module")
+def trace(graph):
+    return WorkloadSpec(users=300, duration=0.5, rate=1500.0, seed=2).generate(graph)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(batch_max=-1)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(slowdown_factor=0.5)
+
+    def test_digest_sensitive(self):
+        assert ServingConfig().digest() != ServingConfig(batch_max=2).digest()
+        assert ServingConfig().digest() == ServingConfig().digest()
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, assignment, trace):
+        r1 = ServingSimulator(assignment, seed=3).run(trace)
+        r2 = ServingSimulator(assignment, seed=3).run(trace)
+        np.testing.assert_array_equal(r1.latency, r2.latency)
+        np.testing.assert_array_equal(r1.shed, r2.shed)
+        np.testing.assert_array_equal(r1.busy_seconds, r2.busy_seconds)
+        assert r1.summary() == r2.summary()
+
+    def test_seed_changes_walk_outcomes(self, assignment, trace):
+        r1 = ServingSimulator(assignment, seed=3).run(trace)
+        r2 = ServingSimulator(assignment, seed=4).run(trace)
+        # Walk randomness differs, so aggregate accounting shifts.
+        assert (
+            r1.messages.tolist() != r2.messages.tolist()
+            or not np.array_equal(r1.latency, r2.latency)
+        )
+
+
+class TestServing:
+    def test_everything_served_at_low_load(self, assignment, trace):
+        result = ServingSimulator(assignment, seed=1).run(trace)
+        assert result.shed_rate == 0.0
+        assert result.completed == trace.num_queries
+        done = result.latency[~result.shed]
+        assert np.all(np.isfinite(done)) and np.all(done > 0)
+        assert result.makespan >= trace.times[-1]
+        assert result.latency_quantile(0.99) >= result.latency_quantile(0.5)
+
+    def test_queue_pressure_sheds(self, assignment, graph):
+        heavy = WorkloadSpec(users=300, duration=0.2, rate=40000.0, seed=5).generate(
+            graph
+        )
+        from repro.cluster.cost import CostModel
+
+        cfg = ServingConfig(queue_limit=2, batch_max=1, cost=CostModel(cores=1))
+        result = ServingSimulator(assignment, cfg, seed=1).run(heavy)
+        assert result.shed_rate > 0.0
+        assert np.all(np.isnan(result.latency[result.shed]))
+        assert result.completed + int(result.shed.sum()) == heavy.num_queries
+        # per-machine accounting closes
+        assert int(result.queries.sum() + result.shed_per_machine.sum()) == heavy.num_queries
+
+    def test_batching_amortises(self, assignment, trace):
+        lone = ServingSimulator(assignment, ServingConfig(batch_max=1), seed=1).run(trace)
+        batched = ServingSimulator(assignment, ServingConfig(batch_max=16), seed=1).run(trace)
+        assert batched.batches.sum() <= lone.batches.sum()
+
+    def test_remote_reads_follow_the_cut(self, graph, trace):
+        contiguous = get_partitioner("chunk-v", seed=0).partition(graph, 4).assignment
+        scattered = get_partitioner("hash", seed=0).partition(graph, 4).assignment
+        local = ServingSimulator(contiguous, seed=1).run(trace)
+        remote = ServingSimulator(scattered, seed=1).run(trace)
+        assert remote.messages.sum() > local.messages.sum()
+
+    def test_trace_graph_mismatch_rejected(self, trace):
+        from repro.graph import ring_graph
+
+        small = ring_graph(8)
+        tiny = get_partitioner("chunk-v", seed=0).partition(small, 2).assignment
+        with pytest.raises(ConfigurationError):
+            ServingSimulator(tiny, seed=0).run(trace)
+
+    def test_quantile_validation(self, assignment, trace):
+        result = ServingSimulator(assignment, seed=1).run(trace)
+        with pytest.raises(ConfigurationError):
+            result.latency_quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            result.latency_quantile(1.5)
+
+
+class TestChaos:
+    def test_machine_slowdown_degrades_tail(self, assignment, trace):
+        clean = ServingSimulator(assignment, seed=1).run(trace)
+        install_plan(
+            ChaosPlan(seed=1, rules=(ChaosRule(site=SITE_MACHINE, kind="exception"),))
+        )
+        try:
+            slow = ServingSimulator(assignment, seed=1).run(trace)
+        finally:
+            install_plan(None)
+        assert slow.degraded_batches.sum() == slow.batches.sum()
+        assert slow.latency_quantile(0.99) > clean.latency_quantile(0.99)
+        # graceful: still completes the full trace
+        assert slow.completed + int(slow.shed.sum()) == trace.num_queries
+
+    def test_partial_rate_hits_some_batches(self, assignment, trace):
+        install_plan(
+            ChaosPlan(
+                seed=2, rules=(ChaosRule(site=SITE_MACHINE, kind="ioerror", rate=0.25),)
+            )
+        )
+        try:
+            result = ServingSimulator(assignment, seed=1).run(trace)
+        finally:
+            install_plan(None)
+        assert 0 < result.degraded_batches.sum() < result.batches.sum()
+
+    def test_cache_chaos_flushes(self, assignment, trace):
+        clean = ServingSimulator(assignment, seed=1).run(trace)
+        install_plan(
+            ChaosPlan(
+                seed=3, rules=(ChaosRule(site=SITE_CACHE, kind="exception", rate=0.2),)
+            )
+        )
+        try:
+            flushed = ServingSimulator(assignment, seed=1).run(trace)
+        finally:
+            install_plan(None)
+        assert flushed.cache_flushes.sum() > 0
+        assert flushed.cache_stats["hit_rate"] < clean.cache_stats["hit_rate"]
+
+    def test_chaos_run_is_deterministic(self, assignment, trace):
+        plan = ChaosPlan(
+            seed=4,
+            rules=(
+                ChaosRule(site=SITE_MACHINE, kind="exception", rate=0.1),
+                ChaosRule(site=SITE_CACHE, kind="exception", rate=0.1),
+            ),
+        )
+        outs = []
+        for _ in range(2):
+            install_plan(plan)
+            try:
+                outs.append(ServingSimulator(assignment, seed=1).run(trace).summary())
+            finally:
+                install_plan(None)
+        assert outs[0] == outs[1]
+
+
+class TestTelemetry:
+    def test_disabled_records_nothing(self, assignment, trace):
+        ServingSimulator(assignment, seed=1).run(trace)
+        assert telemetry.to_json(telemetry.registry()) == telemetry.to_json(
+            telemetry.registry().__class__()
+        )
+
+    def test_enabled_records_slo_metrics(self, assignment, trace):
+        telemetry.set_enabled(True)
+        result = ServingSimulator(assignment, seed=1).run(trace)
+        snap = telemetry.registry().snapshot()
+        assert snap["counters"]["serving.queries"] == trace.num_queries
+        hist = snap["histograms"]["serving.latency_seconds"]
+        assert hist["count"] == result.completed
+        assert hist["per_decade"] == 4  # the bounded-histogram kind

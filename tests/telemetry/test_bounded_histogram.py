@@ -1,0 +1,128 @@
+"""Bounded-histogram metric kind: buckets, quantiles, export plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    BoundedHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    log_buckets,
+    to_json,
+    to_prometheus,
+)
+
+
+class TestLogBuckets:
+    def test_monotone_and_covering(self):
+        bounds = log_buckets(1e-3, 10.0, per_decade=4)
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 10.0
+
+    def test_resolution(self):
+        # per_decade buckets per factor of 10, 4 decades → ~17 edges.
+        assert len(log_buckets(1e-3, 10.0, per_decade=4)) == 17
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            log_buckets(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            log_buckets(1e-3, 1.0, per_decade=0)
+
+
+class TestBoundedHistogram:
+    def test_empty_quantile_is_zero(self):
+        h = BoundedHistogram("t", ())
+        assert h.quantile(0.99) == 0.0
+
+    def test_quantile_validation(self):
+        h = BoundedHistogram("t", ())
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                h.quantile(bad)
+
+    def test_quantile_reads_bucket_edges(self):
+        h = BoundedHistogram("t", (), lo=0.001, hi=10.0, per_decade=1)
+        for v in (0.002, 0.002, 0.002, 5.0):
+            h.observe(v)
+        # p50 falls in the 0.01 bucket (upper edge of 0.002's bucket).
+        assert h.quantile(0.5) == h.buckets[1]
+        assert h.quantile(1.0) >= 5.0
+
+    def test_overflow_reports_exact_max(self):
+        h = BoundedHistogram("t", (), lo=0.001, hi=1.0, per_decade=2)
+        h.observe(42.5)
+        assert h.quantile(0.99) == 42.5
+        assert h.max == 42.5
+
+    def test_below_lo_lands_in_first_bucket(self):
+        h = BoundedHistogram("t", (), lo=0.1, hi=1.0, per_decade=1)
+        h.observe(1e-9)
+        assert h.bucket_counts[0] == 1
+        assert h.quantile(0.5) == h.buckets[0]
+
+    def test_memory_bounded(self):
+        h = BoundedHistogram("t", (), lo=1e-5, hi=60.0, per_decade=4)
+        edges = len(h.buckets)
+        for i in range(10_000):
+            h.observe(i * 1e-3)
+        assert len(h.buckets) == edges
+        assert h.count == 10_000
+
+    def test_as_dict_carries_domain(self):
+        h = BoundedHistogram("t", (), lo=0.01, hi=2.0, per_decade=3)
+        d = h.as_dict()
+        assert (d["lo"], d["hi"], d["per_decade"]) == (0.01, 2.0, 3)
+
+
+class TestRegistryIntegration:
+    def test_same_series_reused(self):
+        reg = MetricsRegistry()
+        a = reg.bounded_histogram("lat", route="x")
+        b = reg.bounded_histogram("lat", route="x")
+        assert a is b
+        assert reg.bounded_histogram("lat", route="y") is not a
+
+    def test_snapshot_files_under_histograms(self):
+        reg = MetricsRegistry()
+        reg.bounded_histogram("lat").observe(0.25)
+        snap = reg.snapshot()
+        assert "lat" in snap["histograms"]
+        assert snap["histograms"]["lat"]["count"] == 1
+        # deterministic section only — never under timers
+        assert "nondeterministic" not in snap
+
+    def test_json_byte_stable(self):
+        def build():
+            reg = MetricsRegistry()
+            h = reg.bounded_histogram("lat")
+            for v in (0.001, 0.5, 3.0):
+                h.observe(v)
+            return to_json(reg)
+
+        assert build() == build()
+
+    def test_prometheus_renders_buckets(self):
+        reg = MetricsRegistry()
+        reg.bounded_histogram("lat").observe(0.1)
+        text = to_prometheus(reg)
+        assert "# TYPE repro_lat histogram" in text
+        assert "_bucket{" in text and 'le="+Inf"' in text
+
+    def test_null_registry_noop(self):
+        null = NullRegistry()
+        h = null.bounded_histogram("lat", lo=0.1, hi=1.0)
+        h.observe(0.5)  # must not raise
+        assert h.quantile(0.99) == 0.0
+
+    def test_zero_cost_when_disabled(self):
+        assert not telemetry.enabled()
+        h = telemetry.active().bounded_histogram("lat")
+        h.observe(1.0)
+        assert telemetry.registry().snapshot()["histograms"] == {}

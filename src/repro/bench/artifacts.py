@@ -64,6 +64,7 @@ __all__ = [
     "ArtifactStore",
     "CacheStats",
     "cache_enabled",
+    "cached_churn_ledger",
     "cached_edge_partition",
     "cached_partition",
     "config_key",
@@ -408,6 +409,29 @@ def get_assignment(
     return cached_partition(
         partitioner_name, graph, num_parts, seed=seed, **params
     ).assignment
+
+
+def cached_churn_ledger(scenario, daemon_params: Mapping[str, Any], compute, *, bypass: bool = False) -> str:
+    """Churn-daemon analogue: cache the canonical epoch-ledger JSON.
+
+    A daemon run is a pure function of (scenario, daemon config), so the
+    scenario digest takes the graph-fingerprint slot of the address and
+    the daemon parameters the config slot. The payload is the ledger's
+    canonical JSON text verbatim — byte-identity is the whole point of
+    the ledger, and storing the bytes preserves it across the cache.
+    """
+    key = config_key("churn-daemon", dict(daemon_params))
+    fp = scenario.digest()
+    use = cache_enabled()
+    store = get_store()
+    if use and not bypass:
+        payload = store.load("churnledger", fp, key)
+        if payload is not None:
+            return str(payload["ledger"][()])
+    text = compute()
+    if use and not (bypass and store.contains("churnledger", fp, key)):
+        store.store("churnledger", fp, key, {"ledger": np.array(text)})
+    return text
 
 
 def cached_edge_partition(partitioner, graph: CSRGraph, num_parts: int):

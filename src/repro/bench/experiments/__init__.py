@@ -4,6 +4,7 @@ package registers all of them with the harness."""
 from repro.bench.experiments import (  # noqa: F401
     ablation_bpart,
     ablation_system,
+    churn,
     connectivity,
     fig03_ratios,
     fig04_loads,

@@ -6,8 +6,6 @@ reach 8×, and Chunk-E balancing |E_i| while |V_i| gaps reach 13×.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench.experiments._common import graph_for, partition_with
 from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
 from repro.bench.report import Table

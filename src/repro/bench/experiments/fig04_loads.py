@@ -7,8 +7,6 @@ shows highly imbalanced loads for Chunk-V/Chunk-E/Fennel.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench.experiments._common import graph_for, partition_with
 from repro.bench.harness import ExperimentConfig, ExperimentResult, register_experiment
 from repro.bench.report import Table

@@ -47,7 +47,6 @@ import json
 import multiprocessing
 import os
 import shutil
-import sys
 import tempfile
 import time
 from pathlib import Path

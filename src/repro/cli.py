@@ -17,6 +17,8 @@ experiment id)::
                 --format prom               # run a job, dump its telemetry
     repro-bench serve --dataset livejournal --algos bpart,hash \\
                 --out report.json           # serving SLOs per partitioner
+    repro-bench churn --vertices 2000 --churn 2000 --seed 7 \\
+                --out ledger.json           # repartition daemon ledger
 
 ``--telemetry out.json`` on bench/partition/trace enables collection
 for that run and writes the full snapshot (including the
@@ -35,7 +37,6 @@ from repro.bench.harness import (
     ExperimentConfig,
     available_experiments,
     experiment_description,
-    run_experiment,
 )
 
 __all__ = ["main"]
@@ -50,6 +51,7 @@ _SUBCOMMANDS = (
     "metrics",
     "scale",
     "serve",
+    "churn",
 )
 
 
@@ -308,6 +310,105 @@ def _run_serve(argv: list[str]) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
         print(f"report written to {args.out}")
+    _telemetry_end(args)
+    return 0
+
+
+def _churn_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-bench churn",
+        description="Drive the prioritized-restreaming repartition daemon "
+        "over a seeded planted-partition churn scenario and write its "
+        "canonical repartition-epoch/v1 ledger. Deterministic: the same "
+        "seed writes a byte-identical ledger.",
+    )
+    p.add_argument("--vertices", type=int, default=2000, help="planted graph size")
+    p.add_argument("--groups", type=int, default=4, help="planted communities")
+    p.add_argument("--parts", type=int, default=4, help="partition count k")
+    p.add_argument("--churn", type=int, default=2000, help="churn-tail events")
+    p.add_argument("--delete-frac", type=float, default=0.25, help="deletion share of edge churn")
+    p.add_argument("--drift", type=float, default=0.0, help="cross-community insert fraction")
+    p.add_argument("--seed", type=int, default=0, help="scenario seed")
+    p.add_argument("--epoch-events", type=int, default=500, help="events between restream epochs")
+    p.add_argument("--budget", type=int, default=64, help="migration cap per epoch")
+    p.add_argument("--final-epochs", type=int, default=2, help="cleanup epochs after the stream")
+    p.add_argument(
+        "--baselines",
+        action="store_true",
+        help="also score static hash and periodic full BPart on the same stream",
+    )
+    p.add_argument("--out", help="write the canonical ledger JSON here")
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the churnledger artifact cache (REPRO_NO_CACHE=1)",
+    )
+    _add_telemetry_flag(p)
+    return p
+
+
+def _run_churn(argv: list[str]) -> int:
+    args = _churn_parser().parse_args(argv)
+    import os
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+
+    from repro.bench.experiments.churn import run_daemon_ledger
+    from repro.partition.repartition import (
+        ChurnScenario,
+        PeriodicBPartBaseline,
+        static_hash_ari,
+    )
+
+    _telemetry_begin(args)
+    scenario = ChurnScenario(
+        num_vertices=args.vertices,
+        num_groups=args.groups,
+        churn_events=args.churn,
+        delete_frac=args.delete_frac,
+        drift=args.drift,
+        seed=args.seed,
+    )
+    ledger = run_daemon_ledger(
+        scenario,
+        num_parts=args.parts,
+        epoch_events=args.epoch_events,
+        budget=args.budget,
+        final_epochs=args.final_epochs,
+    )
+    print(f"scenario {scenario.digest()[:12]} — {len(scenario.events())} events")
+    for rec in ledger.epochs:
+        ari = (
+            f" ari {rec['ari_before']:.4f}->{rec['ari_after']:.4f}"
+            if "ari_after" in rec
+            else ""
+        )
+        print(
+            f"epoch {rec['epoch']:3d}: {rec['migrations']:4d}/{rec['budget']} moves, "
+            f"gain {rec['gain']:.2f}, cut {rec['edge_cut_before']:.4f}->"
+            f"{rec['edge_cut_after']:.4f}{ari}"
+        )
+    print(f"{ledger!r} digest {ledger.digest()[:12]}")
+    if args.baselines:
+        events = scenario.events()
+        labels = scenario.labels()
+        bpart = PeriodicBPartBaseline(
+            args.parts, epoch_events=args.epoch_events, seed=args.seed
+        )
+        bpart.drain(events)
+        last = ledger.epochs[-1] if ledger.epochs else {}
+        print(
+            f"daemon ARI {last.get('ari_after', float('nan')):.4f} "
+            f"({ledger.total_migrations} migrations) | "
+            f"hash ARI {static_hash_ari(bpart.mirror.resident, labels, args.parts, seed=args.seed):.4f} (0) | "
+            f"bpart-full ARI {bpart.ari(labels):.4f} ({bpart.migrations})"
+        )
+    if args.out:
+        # Exact canonical bytes — two same-seed runs cmp as identical.
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(ledger.to_json())
+        print(f"ledger written to {args.out}")
     _telemetry_end(args)
     return 0
 
@@ -738,6 +839,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_metrics(rest)
     if cmd == "serve":
         return _run_serve(rest)
+    if cmd == "churn":
+        return _run_churn(rest)
     if cmd == "scale":
         # Out-of-core scale sweep lives in its own module: it forks
         # subprocesses per cell and has no use for the shared flags here.

@@ -54,7 +54,6 @@ class Node2Vec(WalkApp):
         previous: np.ndarray,
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, np.ndarray]:
-        k = positions.size
         targets, dead = uniform_neighbor(graph, positions, rng)
         first = previous < 0
         # Second-order walkers re-sample until acceptance.

@@ -23,6 +23,7 @@ from repro.graph.generators import (
     erdos_renyi,
     grid_graph,
     path_graph,
+    planted_partition,
     powerlaw_degrees,
     ring_graph,
     rmat,
@@ -77,6 +78,7 @@ __all__ = [
     "erdos_renyi",
     "grid_graph",
     "path_graph",
+    "planted_partition",
     "powerlaw_degrees",
     "ring_graph",
     "rmat",

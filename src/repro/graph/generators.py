@@ -31,6 +31,7 @@ __all__ = [
     "rmat",
     "barabasi_albert",
     "erdos_renyi",
+    "planted_partition",
     "ring_graph",
     "path_graph",
     "star_graph",
@@ -339,6 +340,62 @@ def erdos_renyi(num_vertices: int, avg_degree: float, *, rng=None) -> CSRGraph:
     src = rng.integers(0, n, size=m)
     dst = rng.integers(0, n, size=m)
     return from_edges(src, dst, n, directed=False)
+
+
+def planted_partition(
+    num_vertices: int,
+    num_groups: int,
+    *,
+    intra_degree: float = 8.0,
+    inter_degree: float = 1.0,
+    rng=None,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Planted-partition (stochastic block model) graph with ground truth.
+
+    ``num_groups`` equal-size contiguous communities (vertex ``v``
+    belongs to group ``v·g/n``); each vertex gets ``intra_degree``
+    expected within-group stubs and ``inter_degree`` expected
+    cross-group stubs. Returns ``(graph, labels)`` — the labels are the
+    recovered-community ground truth the churn scenarios score ARI
+    against (Tsourakakis-style planted benchmark).
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("num_groups", num_groups)
+    check_positive("intra_degree", intra_degree)
+    if inter_degree < 0:
+        raise ConfigurationError(f"inter_degree must be >= 0, got {inter_degree}")
+    n = int(num_vertices)
+    g = int(num_groups)
+    if g > n:
+        raise ConfigurationError(f"num_groups {g} exceeds num_vertices {n}")
+    rng = as_rng(rng)
+    labels = (np.arange(n, dtype=np.int64) * g) // n
+
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    # within-group edges, sampled per block so both endpoints share a label
+    bounds = np.searchsorted(labels, np.arange(g + 1))
+    for b in range(g):
+        lo, hi = int(bounds[b]), int(bounds[b + 1])
+        size = hi - lo
+        if size < 2:
+            continue
+        m_in = int(round(size * intra_degree / 2))
+        srcs.append(rng.integers(lo, hi, size=m_in))
+        dsts.append(rng.integers(lo, hi, size=m_in))
+    # cross-group edges: uniform pairs filtered to differing labels
+    m_out = int(round(n * inter_degree / 2))
+    if m_out and g > 1:
+        # oversample so the post-filter count concentrates near m_out
+        cand = int(m_out * g / max(g - 1, 1)) + 8
+        u = rng.integers(0, n, size=cand)
+        v = rng.integers(0, n, size=cand)
+        keep = labels[u] != labels[v]
+        srcs.append(u[keep][:m_out])
+        dsts.append(v[keep][:m_out])
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    return from_edges(src, dst, n, directed=False), labels
 
 
 # ----------------------------------------------------------------------

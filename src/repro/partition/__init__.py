@@ -49,6 +49,7 @@ from repro.partition.kernels import (
 from repro.partition.ldg import LDGPartitioner
 from repro.partition.metrics import (
     BalanceReport,
+    adjusted_rand_index,
     balance_report,
     bias,
     connectivity_matrix,
@@ -94,6 +95,7 @@ __all__ = [
     "multi_layer_combine",
     "BalanceReport",
     "balance_report",
+    "adjusted_rand_index",
     "bias",
     "jains_fairness",
     "edge_cut_ratio",

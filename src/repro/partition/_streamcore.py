@@ -26,7 +26,7 @@ import numpy as np
 from repro import telemetry
 from repro.graph.csr import CSRGraph
 from repro.graph.stream import vertex_stream
-from repro.parallel import resolve_jobs
+from repro.parallel import note_fallback, resolve_jobs
 from repro.partition.kernels import get_kernel
 
 __all__ = ["stream_partition", "default_alpha"]
@@ -105,6 +105,14 @@ def stream_partition(
     eff_jobs = resolve_jobs(jobs)
     if eff_jobs > 1 and (kernel or "auto").lower() == "auto":
         backend = get_kernel("parallel")
+    elif backend.name == "parallel" and eff_jobs <= 1:
+        # An explicit kernel="parallel" with one effective worker would
+        # label telemetry "parallel" and enter the multiprocessing path
+        # just to degrade inside it silently. Degrade here instead, to
+        # the in-process buffered kernel (bit-exact), and tick the
+        # fallback counter so the degradation is observable.
+        note_fallback("kernel.jobs")
+        backend = get_kernel("buffered")
     # Sharded graphs expose no global indices array; their chunked
     # gather_block *is* the buffered kernel's gather, so every kernel
     # choice routes there (all backends are bit-exact — the knob trades

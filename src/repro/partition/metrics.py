@@ -21,6 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.partition.assignment import PartitionAssignment
 
 __all__ = [
+    "adjusted_rand_index",
     "bias",
     "jains_fairness",
     "part_vertex_counts",
@@ -57,6 +58,44 @@ def jains_fairness(values) -> float:
         return 1.0  # all-zero loads are (vacuously) perfectly fair
     total = float(x.sum())
     return total * total / (x.size * sq_sum)
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index between two labelings of the same items.
+
+    Permutation-invariant agreement, chance-corrected to 0 for random
+    labelings and 1 for identical partitions (Hubert & Arabie 1985) —
+    the recovered-community quality signal the planted-partition churn
+    scenarios track. Degenerate single-cluster/all-singleton pairs where
+    the expected index equals the maximum return 1.0 by convention.
+    """
+    a = np.asarray(labels_true).ravel()
+    b = np.asarray(labels_pred).ravel()
+    if a.size != b.size:
+        raise PartitionError(
+            f"label vectors disagree in length: {a.size} vs {b.size}"
+        )
+    if a.size == 0:
+        raise PartitionError("ARI of empty labelings is undefined")
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    n_a = int(ai.max()) + 1
+    n_b = int(bi.max()) + 1
+    contingency = np.bincount(ai * n_b + bi, minlength=n_a * n_b).reshape(n_a, n_b)
+
+    def _comb2(x: np.ndarray) -> float:
+        x = x.astype(np.float64)
+        return float((x * (x - 1.0) / 2.0).sum())
+
+    sum_ij = _comb2(contingency)
+    sum_a = _comb2(contingency.sum(axis=1))
+    sum_b = _comb2(contingency.sum(axis=0))
+    total = a.size * (a.size - 1.0) / 2.0
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = 0.5 * (sum_a + sum_b)
+    if max_index == expected:
+        return 1.0
+    return float((sum_ij - expected) / (max_index - expected))
 
 
 def _check_parts(parts: np.ndarray, num_parts: int | None) -> np.ndarray:

@@ -1,0 +1,49 @@
+"""Long-running repartitioning service (prioritized restreaming).
+
+The online layer above :class:`repro.partition.dynamic.
+DynamicPartitioner`: a daemon ingests a seeded stream of vertex/edge
+insertions and deletions, and every ``epoch_events`` events runs a
+*prioritized restreaming* epoch — residents re-scored in descending
+gain order under a hard migration budget (Awadelkarim & Ugander, KDD
+2020, adapted to the paper's Eq. 1 weighted indicator). Each epoch is
+appended to a canonical ``repartition-epoch/v1`` JSON ledger that is
+byte-identical across same-seed runs.
+
+Pieces
+------
+- :mod:`restream`  — gain scoring + the two-sweep epoch engine.
+- :mod:`scenario`  — seeded planted-partition churn workloads.
+- :mod:`daemon`    — the event loop, quality metrics, ledgering.
+- :mod:`ledger`    — the canonical epoch document.
+- :mod:`baselines` — static hash and periodic-full-BPart comparators.
+"""
+
+from repro.partition.repartition.baselines import (
+    PeriodicBPartBaseline,
+    static_hash_ari,
+    static_hash_parts,
+)
+from repro.partition.repartition.daemon import RepartitionDaemon
+from repro.partition.repartition.ledger import LEDGER_SCHEMA, RepartitionLedger
+from repro.partition.repartition.restream import (
+    EpochStats,
+    MoveScore,
+    restream_epoch,
+    score_vertex,
+)
+from repro.partition.repartition.scenario import ChurnEvent, ChurnScenario
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnScenario",
+    "EpochStats",
+    "LEDGER_SCHEMA",
+    "MoveScore",
+    "PeriodicBPartBaseline",
+    "RepartitionDaemon",
+    "RepartitionLedger",
+    "restream_epoch",
+    "score_vertex",
+    "static_hash_ari",
+    "static_hash_parts",
+]

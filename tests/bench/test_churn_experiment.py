@@ -1,0 +1,68 @@
+"""The churn experiment and the churnledger artifact kind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import artifacts
+from repro.bench.experiments.churn import run_daemon_ledger, scenario_for
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.partition.repartition import ChurnScenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return ChurnScenario(num_vertices=500, num_groups=2, churn_events=400, seed=3)
+
+
+class TestChurnLedgerArtifact:
+    def test_replay_returns_identical_bytes(self, scenario):
+        fresh = run_daemon_ledger(scenario, num_parts=2, epoch_events=200, budget=16)
+        store = artifacts.get_store()
+        before = store.stats.by_kind.get("churnledger", {}).get("hits", 0)
+        cached = run_daemon_ledger(scenario, num_parts=2, epoch_events=200, budget=16)
+        assert store.stats.by_kind["churnledger"]["hits"] == before + 1
+        assert cached.to_json() == fresh.to_json()
+
+    def test_disk_replay_reconstructs_ledger(self, scenario):
+        fresh = run_daemon_ledger(scenario, num_parts=2, epoch_events=200, budget=16)
+        artifacts.reset_store()  # drop the in-memory layer
+        cached = run_daemon_ledger(scenario, num_parts=2, epoch_events=200, budget=16)
+        assert cached.to_json() == fresh.to_json()
+        assert cached.digest() == fresh.digest()
+
+    def test_daemon_config_is_part_of_the_key(self, scenario):
+        a = run_daemon_ledger(scenario, num_parts=2, epoch_events=200, budget=16)
+        b = run_daemon_ledger(scenario, num_parts=2, epoch_events=200, budget=8)
+        assert a.to_json() != b.to_json()
+        for rec in b.epochs:
+            assert rec["migrations"] <= 8
+
+
+class TestChurnExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("churn", ExperimentConfig(scale=0.25, seed=2))
+
+    def test_reports_three_strategies(self, result):
+        table = result.tables[0]
+        strategies = {row[0] for row in table.rows}
+        assert strategies == {"daemon", "hash", "bpart-full"}
+
+    def test_acceptance_criteria_hold(self, result):
+        ledger = result.data[("churn", "ledger")]
+        daemon_ari = ledger["epochs"][-1]["ari_after"]
+        assert daemon_ari > result.data[("churn", "hash_ari")]
+        assert daemon_ari >= 0.9 * result.data[("churn", "bpart_ari")]
+        assert "PASS" in result.notes[1] and "FAIL" not in result.notes[1]
+
+    def test_budget_never_exceeded(self, result):
+        ledger = result.data[("churn", "ledger")]
+        for rec in ledger["epochs"]:
+            assert rec["migrations"] <= rec["budget"]
+
+    def test_scenario_scales_with_config(self):
+        small = scenario_for(ExperimentConfig(scale=0.25, seed=2))
+        big = scenario_for(ExperimentConfig(scale=1.0, seed=2))
+        assert small.num_vertices < big.num_vertices
+        assert small.seed == big.seed == 2

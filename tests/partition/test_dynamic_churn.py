@@ -91,6 +91,104 @@ def test_balance_survives_churn(graph):
     assert 0.0 <= eb < 0.6
 
 
+def test_edge_counts_exact_while_departed(graph):
+    """Regression: ``remove_vertex`` must release the *neighbours'*
+    stubs too, not just the departing vertex's own degree.
+
+    Before reverse-stub tracking, every resident kept counting its full
+    adjacency after a neighbour left, so ``edge_counts`` drifted upward
+    monotonically under churn. This drives randomized add/remove cycles
+    and checks the counters against a shadow model at every mid-churn
+    state — i.e. while the departed set is non-empty, which the
+    rejoin-everything schedules above never exercise.
+    """
+    k = 5
+    dp = DynamicPartitioner(k, avg_degree=graph.avg_degree)
+    rng = derive_rng(17, 0xD01F)
+    resident: dict[int, int] = {}
+    departed: set[int] = set()
+    never_arrived = set(range(graph.num_vertices))
+
+    def check() -> None:
+        expected = np.zeros(k, dtype=np.int64)
+        for v, part in resident.items():
+            live = sum(1 for w in graph.neighbors(v) if int(w) not in departed)
+            assert dp.degree_of(v) == live
+            expected[part] += live
+        np.testing.assert_array_equal(dp.edge_counts, expected)
+        assert dp.edge_counts.sum() == expected.sum()
+
+    for step in range(400):
+        roll = rng.random()
+        if roll < 0.55 and (never_arrived or departed):
+            pool = sorted(never_arrived) if never_arrived else sorted(departed)
+            v = pool[int(rng.integers(len(pool)))]
+            never_arrived.discard(v)
+            departed.discard(v)
+            resident[v] = dp.add_vertex(v, graph.neighbors(v))
+        elif resident:
+            ids = sorted(resident)
+            v = ids[int(rng.integers(len(ids)))]
+            dp.remove_vertex(v)
+            del resident[v]
+            departed.add(v)
+        if step % 25 == 0:
+            check()
+    assert departed, "schedule must end mid-churn to exercise the fix"
+    check()
+
+
+def test_edge_churn_counters_exact(graph):
+    """add_edge / remove_edge keep the same invariant as vertex churn."""
+    k = 4
+    dp = DynamicPartitioner(k, avg_degree=graph.avg_degree)
+    parts = {}
+    for v in range(300):
+        parts[v] = dp.add_vertex(v, [w for w in graph.neighbors(v) if w < 300])
+    adj = {v: {int(w) for w in graph.neighbors(v) if w < 300} for v in range(300)}
+    rng = derive_rng(23, 0xED6E)
+    for _ in range(200):
+        u, v = int(rng.integers(300)), int(rng.integers(300))
+        if u == v:
+            continue
+        if rng.random() < 0.5:
+            changed = dp.add_edge(u, v)
+            assert changed == (v not in adj[u] or u not in adj[v])
+            adj[u].add(v)
+            adj[v].add(u)
+        else:
+            changed = dp.remove_edge(u, v)
+            assert changed == (v in adj[u] or u in adj[v])
+            adj[u].discard(v)
+            adj[v].discard(u)
+    expected = np.zeros(k, dtype=np.int64)
+    for v, part in parts.items():
+        assert dp.degree_of(v) == len(adj[v])
+        expected[part] += len(adj[v])
+    np.testing.assert_array_equal(dp.edge_counts, expected)
+
+
+def test_move_vertex_transfers_counters(graph):
+    dp = DynamicPartitioner(3, avg_degree=graph.avg_degree)
+    for v in range(60):
+        dp.add_vertex(v, graph.neighbors(v))
+    v0 = dp.vertex_counts.copy()
+    e0 = dp.edge_counts.copy()
+    victim = 7
+    old = dp.part_of(victim)
+    new = (old + 1) % 3
+    deg = dp.degree_of(victim)
+    assert dp.move_vertex(victim, new) == old
+    assert dp.part_of(victim) == new
+    assert dp.vertex_counts[old] == v0[old] - 1
+    assert dp.vertex_counts[new] == v0[new] + 1
+    assert dp.edge_counts[old] == e0[old] - deg
+    assert dp.edge_counts[new] == e0[new] + deg
+    # moving to the same part is a no-op
+    assert dp.move_vertex(victim, new) == new
+    np.testing.assert_array_equal(dp.vertex_counts.sum(), v0.sum())
+
+
 def test_empty_after_full_drain(graph):
     dp = DynamicPartitioner(3, avg_degree=graph.avg_degree)
     shadow = {}

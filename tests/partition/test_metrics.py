@@ -176,3 +176,68 @@ class TestAssignmentValidation:
 
     def test_empty_assignment_ok(self):
         assert part_vertex_counts(np.array([], dtype=int), 3).tolist() == [0, 0, 0]
+
+
+class TestAdjustedRandIndex:
+    def test_identical_labelings(self):
+        from repro.partition import adjusted_rand_index
+
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_permutation_invariant(self):
+        from repro.partition import adjusted_rand_index
+
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])  # same partition, renamed
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        from repro.partition import adjusted_rand_index
+
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_known_value(self):
+        from repro.partition import adjusted_rand_index
+
+        # Hubert & Arabie worked example family: one item swapped
+        # between otherwise identical 2-cluster labelings.
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 1]
+        val = adjusted_rand_index(a, b)
+        assert 0.0 < val < 1.0
+        assert val == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_degenerate_single_cluster(self):
+        from repro.partition import adjusted_rand_index
+
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_all_singletons_vs_one_cluster(self):
+        from repro.partition import adjusted_rand_index
+
+        # expected == max index only when BOTH are degenerate; here the
+        # chance-corrected agreement is 0.
+        assert adjusted_rand_index([0, 1, 2, 3], [0, 0, 0, 0]) == pytest.approx(0.0)
+
+    def test_length_mismatch_raises(self):
+        from repro.partition import adjusted_rand_index
+
+        with pytest.raises(PartitionError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+
+    def test_empty_raises(self):
+        from repro.partition import adjusted_rand_index
+
+        with pytest.raises(PartitionError):
+            adjusted_rand_index([], [])
+
+    def test_non_contiguous_label_ids(self):
+        from repro.partition import adjusted_rand_index
+
+        a = np.array([10, 10, 99, 99])
+        b = np.array([-5, -5, 7, 7])
+        assert adjusted_rand_index(a, b) == 1.0

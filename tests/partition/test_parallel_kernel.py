@@ -92,6 +92,29 @@ class TestStreamParity:
         counters = telemetry.registry().snapshot()["counters"]
         assert counters.get("parallel.workers_spawned", 0) == 0
 
+    def test_jobs_one_degrades_before_the_parallel_path(self, dense):
+        # Regression: an explicit kernel="parallel" resolving to one
+        # effective worker used to enter the multiprocessing path and
+        # degrade *inside* it silently, mislabelling the stream timer
+        # "parallel". It must degrade up front, tick the fallback
+        # counter at site=kernel.jobs, and run the buffered kernel.
+        telemetry.set_enabled(True)
+        telemetry.reset()
+        base = _stream(dense, kernel="buffered")
+        par = _stream(dense, kernel="parallel", jobs=1)
+        np.testing.assert_array_equal(base, par)
+        counters = telemetry.registry().snapshot()["counters"]
+        assert counters.get('parallel.fallbacks{site="kernel.jobs"}', 0) >= 1
+        # the stream telemetry labels the kernel that actually ran
+        assert counters.get('partition.stream.vertices{kernel="buffered"}', 0) > 0
+
+    def test_jobs_above_one_does_not_tick_jobs_fallback(self, dense):
+        telemetry.set_enabled(True)
+        telemetry.reset()
+        _stream(dense, kernel="parallel", jobs=2)
+        counters = telemetry.registry().snapshot()["counters"]
+        assert counters.get('parallel.fallbacks{site="kernel.jobs"}', 0) == 0
+
 
 class TestPartitionerParity:
     """jobs>1 through the public constructors is invisible in output."""

@@ -1,0 +1,207 @@
+"""The prioritized-restreaming repartition service.
+
+Covers the acceptance contract of the daemon layer: same seed ⇒
+byte-identical ledger, migrations never exceed the budget, resident
+edge cut monotonically non-increasing across epochs on a static
+stream, exact counters throughout, and a verifiable canonical ledger
+document.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.partition.repartition import (
+    ChurnScenario,
+    LEDGER_SCHEMA,
+    RepartitionDaemon,
+    RepartitionLedger,
+    restream_epoch,
+    score_vertex,
+    static_hash_ari,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return ChurnScenario(num_vertices=600, num_groups=3, churn_events=600, seed=11)
+
+
+def _run(scenario, **kwargs):
+    params = dict(
+        epoch_events=200,
+        budget=32,
+        labels=scenario.labels(),
+        scenario=scenario,
+        seed=scenario.seed,
+        expected_vertices=scenario.num_vertices,
+    )
+    params.update(kwargs)
+    daemon = RepartitionDaemon(3, **params)
+    daemon.drain(scenario.events(), final_epochs=2)
+    return daemon
+
+
+# ---------------------------------------------------------------------
+# scenario
+# ---------------------------------------------------------------------
+def test_scenario_stream_is_deterministic(scenario):
+    a = scenario.events()
+    b = ChurnScenario(num_vertices=600, num_groups=3, churn_events=600, seed=11).events()
+    assert a == b
+    assert scenario.digest() == ChurnScenario(
+        num_vertices=600, num_groups=3, churn_events=600, seed=11
+    ).digest()
+
+
+def test_scenario_digest_separates_parameters(scenario):
+    other = ChurnScenario(num_vertices=600, num_groups=3, churn_events=600, seed=12)
+    assert scenario.digest() != other.digest()
+
+
+def test_scenario_events_are_applicable(scenario):
+    """Every event in the stream must be applicable in order — deletions
+    name resident endpoints, rejoins carry adjacency."""
+    daemon = RepartitionDaemon(3, epoch_events=0, budget=8)
+    for ev in scenario.events():
+        daemon.apply(ev)
+    assert daemon.dp.num_vertices > 0
+
+
+def test_scenario_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        ChurnScenario(num_vertices=100, churn_events=-1)
+    with pytest.raises(ConfigurationError):
+        ChurnScenario(num_vertices=100, delete_frac=1.5)
+
+
+# ---------------------------------------------------------------------
+# restreaming engine
+# ---------------------------------------------------------------------
+def test_restream_budget_is_hard(scenario):
+    daemon = RepartitionDaemon(3, epoch_events=0, budget=5)
+    for ev in scenario.arrival_events():
+        daemon.apply(ev)
+    stats = restream_epoch(daemon.dp, budget=5)
+    assert stats.migrations <= 5
+    if stats.candidates > 5:
+        assert stats.budget_exhausted
+
+
+def test_restream_monotone_cut_on_static_stream(scenario):
+    """With no churn between epochs, the cut-safe gate guarantees the
+    resident edge cut never increases epoch over epoch."""
+    daemon = RepartitionDaemon(3, epoch_events=0, budget=64)
+    for ev in scenario.arrival_events():
+        daemon.apply(ev)
+    cuts = [daemon.live_edge_cut()]
+    for _ in range(6):
+        daemon.run_epoch()
+        cuts.append(daemon.live_edge_cut())
+    for before, after in zip(cuts, cuts[1:]):
+        assert after <= before + 1e-12
+    assert cuts[-1] < cuts[0]  # and it actually improves
+
+
+def test_restream_moves_have_positive_gain(scenario):
+    daemon = RepartitionDaemon(3, epoch_events=0, budget=32)
+    for ev in scenario.arrival_events():
+        daemon.apply(ev)
+    stats = restream_epoch(daemon.dp, budget=32)
+    assert stats.migrations > 0
+    assert stats.gain > 0.0
+    for v, frm, to in stats.moves:
+        assert frm != to
+        assert daemon.dp.part_of(v) == to
+
+
+def test_score_vertex_matches_move_outcome(scenario):
+    daemon = RepartitionDaemon(3, epoch_events=0, budget=32)
+    for ev in scenario.arrival_events():
+        daemon.apply(ev)
+    v = next(iter(daemon.dp.vertices()))
+    s = score_vertex(daemon.dp, v)
+    assert s.current == daemon.dp.part_of(v)
+    assert 0 <= s.best < 3
+    # staying put scores a gain of exactly zero
+    assert s.gain >= 0.0
+
+
+def test_counters_stay_exact_through_epochs(scenario):
+    daemon = _run(scenario)
+    dp = daemon.dp
+    expected = np.zeros(3, dtype=np.int64)
+    for v in dp.vertices():
+        expected[dp.part_of(v)] += dp.degree_of(v)
+    np.testing.assert_array_equal(dp.edge_counts, expected)
+    assert dp.vertex_counts.sum() == dp.num_vertices
+
+
+# ---------------------------------------------------------------------
+# daemon + ledger
+# ---------------------------------------------------------------------
+def test_same_seed_byte_identical_ledger(scenario):
+    a = _run(scenario).ledger.to_json()
+    b = _run(scenario).ledger.to_json()
+    assert a == b
+    assert a.encode("utf-8") == b.encode("utf-8")
+
+
+def test_budget_respected_in_every_epoch(scenario):
+    ledger = _run(scenario).ledger
+    assert ledger.epochs
+    for rec in ledger.epochs:
+        assert rec["migrations"] <= rec["budget"]
+        assert len(rec["moves"]) == rec["migrations"]
+
+
+def test_epoch_cut_never_increases_within_epoch(scenario):
+    for rec in _run(scenario).ledger.epochs:
+        assert rec["edge_cut_after"] <= rec["edge_cut_before"] + 1e-9
+
+
+def test_daemon_beats_static_hash(scenario):
+    daemon = _run(scenario)
+    ids = list(daemon.dp.vertices())
+    hash_ari = static_hash_ari(ids, scenario.labels(), 3, seed=scenario.seed)
+    assert daemon.ari() > hash_ari
+
+
+def test_ledger_roundtrip(scenario):
+    ledger = _run(scenario).ledger
+    text = ledger.to_json()
+    back = RepartitionLedger.from_json(text)
+    assert back.to_json() == text
+    assert back.digest() == ledger.digest()
+    assert back.total_migrations == ledger.total_migrations
+
+
+def test_ledger_rejects_wrong_schema():
+    with pytest.raises(ConfigurationError):
+        RepartitionLedger.from_json('{"schema": "other/v9", "num_parts": 2}')
+
+
+def test_ledger_rejects_tampered_document(scenario):
+    ledger = _run(scenario).ledger
+    doc = ledger.to_dict()
+    doc["epochs"][0]["migrations"] += 1
+    import json
+
+    with pytest.raises(ConfigurationError):
+        RepartitionLedger.from_json(json.dumps(doc))
+
+
+def test_ledger_schema_tag(scenario):
+    doc = _run(scenario).ledger.to_dict()
+    assert doc["schema"] == LEDGER_SCHEMA
+    assert doc["scenario"]["digest"] == scenario.digest()
+
+
+def test_daemon_rejects_unknown_event():
+    from repro.partition.repartition import ChurnEvent
+
+    daemon = RepartitionDaemon(2, epoch_events=0, budget=4)
+    with pytest.raises(ConfigurationError):
+        daemon.apply(ChurnEvent(kind="teleport_vertex", u=0))

@@ -149,3 +149,67 @@ class TestEdgePartitionModel:
         src, dst = canonical_edges(triangle)
         with pytest.raises(PartitionError):
             EdgePartition(triangle, src, dst, np.full(src.size, 9, dtype=np.int32), 2)
+
+
+class TestDirectedGraphs:
+    """Directed storage: every arc is its own edge (no u<v folding)."""
+
+    @pytest.fixture(scope="class")
+    def dg(self):
+        from repro.graph import from_edges
+
+        rng = np.random.default_rng(41)
+        src = rng.integers(0, 200, size=1500)
+        dst = rng.integers(0, 200, size=1500)
+        keep = src != dst
+        return from_edges(src[keep], dst[keep], 200, directed=True)
+
+    def test_canonical_edges_count_arcs(self, dg):
+        src, dst = canonical_edges(dg)
+        assert src.size == dg.num_edges  # each arc its own edge
+
+    @pytest.mark.parametrize("cls", [RandomEdgePartitioner, DBHPartitioner, HDRFPartitioner])
+    def test_family_partitions_all_arcs(self, dg, cls):
+        p = cls().partition(dg, 4)
+        assert p.edge_parts.size == dg.num_edges
+        assert p.edge_counts.sum() == dg.num_edges
+        assert 0 <= p.edge_parts.min() and p.edge_parts.max() < 4
+        assert replication_factor(p) >= 1.0
+
+    def test_grid_partitions_directed(self, dg):
+        p = GridPartitioner().partition(dg, 4)
+        assert p.edge_parts.size == dg.num_edges
+        assert p.edge_counts.sum() == dg.num_edges
+
+    def test_determinism_on_directed(self, dg):
+        a = HDRFPartitioner().partition(dg, 4).edge_parts
+        b = HDRFPartitioner().partition(dg, 4).edge_parts
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEdgelessGraphs:
+    """Zero-edge graphs: the capacity guard `max(src.size, 1)` and the
+    empty-copies return of replication_factor."""
+
+    @pytest.fixture(scope="class")
+    def empty(self):
+        from repro.graph import from_edges
+
+        return from_edges([], [], 12)
+
+    @pytest.mark.parametrize(
+        "cls", [RandomEdgePartitioner, DBHPartitioner, HDRFPartitioner, GridPartitioner]
+    )
+    def test_family_handles_edgeless(self, empty, cls):
+        p = cls().partition(empty, 4)
+        assert p.edge_parts.size == 0
+        assert p.edge_counts.sum() == 0
+        np.testing.assert_array_equal(p.copies, np.zeros(12, dtype=p.copies.dtype))
+
+    def test_replication_factor_empty_is_zero(self, empty):
+        p = RandomEdgePartitioner().partition(empty, 4)
+        assert replication_factor(p) == 0.0
+
+    def test_edge_balance_on_edgeless(self, empty):
+        p = HDRFPartitioner().partition(empty, 4)
+        assert edge_balance_bias(p) == 0.0

@@ -34,7 +34,9 @@ OUTPUT = ROOT / "BENCH_suite.json"
 ALGOS = "chunk-v,bpart,hash"
 
 
-def run_serve(cache_dir: Path, out: Path, args: argparse.Namespace) -> float:
+def run_serve(
+    cache_dir: Path, out: Path, args: argparse.Namespace, *, replication: int = 1
+) -> float:
     """Wall seconds for one ``repro-bench serve`` run in a fresh process."""
     env = dict(os.environ)
     env["REPRO_CACHE_DIR"] = str(cache_dir)
@@ -54,6 +56,8 @@ def run_serve(cache_dir: Path, out: Path, args: argparse.Namespace) -> float:
         str(args.duration),
         "--algos",
         ALGOS,
+        "--replication",
+        str(replication),
         "--out",
         str(out),
     ]
@@ -73,6 +77,7 @@ def main() -> int:
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-serving-baseline-"))
     out_cold = cache_dir / "cold.json"
     out_warm = cache_dir / "warm.json"
+    out_k2 = cache_dir / "k2.json"
     try:
         cold = run_serve(cache_dir, out_cold, args)
         print(f"cold serve: {cold:6.1f}s")
@@ -82,6 +87,11 @@ def main() -> int:
         if cold_bytes != out_warm.read_bytes():
             raise SystemExit("cold and warm serving reports differ — not recording")
         report = json.loads(cold_bytes)
+        # Replicated serving on clean traffic: the overhead/availability
+        # cell of the replicated event loop (K=2, no chaos).
+        k2_seconds = run_serve(cache_dir, out_k2, args, replication=2)
+        print(f"K=2 serve:  {k2_seconds:6.1f}s")
+        report_k2 = json.loads(out_k2.read_bytes())
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
@@ -105,6 +115,19 @@ def main() -> int:
         "report_digest": report["workload_digest"][:16],
         "python": platform.python_version(),
     }
+    bpart_k2 = report_k2["entries"]["bpart"]
+    entry.update(
+        {
+            "k2_seconds": round(k2_seconds, 2),
+            # K=1 reports only carry availability when the replicated
+            # loop ran; on the legacy path the closest proxy is 1-shed.
+            "k1_availability": round(
+                bpart.get("availability", 1.0 - bpart["shed_rate"]), 6
+            ),
+            "k2_availability": round(bpart_k2["availability"], 6),
+            "k2_p99_ms": round(bpart_k2["latency_p99"] * 1e3, 4),
+        }
+    )
     history = []
     if OUTPUT.exists():
         history = json.loads(OUTPUT.read_text(encoding="utf-8")).get("entries", [])

@@ -55,9 +55,14 @@ from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.resilience import RetryPolicy, call_with_retry, maybe_inject
+from repro.resilience.chaos import register_site
 from repro.partition.assignment import PartitionAssignment
 from repro.partition.base import PartitionResult, get_partitioner
 from repro.utils.timing import WallClock
+
+#: injection sites of the artifact store (seeded I/O failures).
+SITE_ARTIFACTS_LOAD = register_site("artifacts.load")
+SITE_ARTIFACTS_STORE = register_site("artifacts.store")
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -239,7 +244,7 @@ class ArtifactStore:
             return None
 
         def _read(attempt: int) -> dict:
-            maybe_inject("artifacts.load", key, attempt=attempt, path=path)
+            maybe_inject(SITE_ARTIFACTS_LOAD, key, attempt=attempt, path=path)
             with np.load(path, allow_pickle=False) as data:
                 return {name: data[name] for name in data.files}
 
@@ -275,7 +280,7 @@ class ArtifactStore:
         disk = {k: v for k, v in payload.items() if not k.startswith("__")}
 
         def _write(attempt: int) -> None:
-            maybe_inject("artifacts.store", key, attempt=attempt, path=path)
+            maybe_inject(SITE_ARTIFACTS_STORE, key, attempt=attempt, path=path)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:

@@ -20,6 +20,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig15_hash,
     multilevel_cmp,
     scaling,
+    serving_availability,
     serving_slo,
     table2_overhead,
     table3_cuts,

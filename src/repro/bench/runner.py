@@ -53,11 +53,12 @@ from multiprocessing.connection import wait as _conn_wait
 from repro import telemetry
 from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
 from repro.resilience import CircuitBreaker, JsonlJournal
+from repro.resilience.chaos import register_site
 
 __all__ = ["ExperimentOutcome", "run_suite", "config_digest"]
 
 #: injection site fired inside every worker attempt (key: experiment id).
-WORKER_CHAOS_SITE = "runner.worker"
+WORKER_CHAOS_SITE = register_site("runner.worker")
 
 
 @dataclass

@@ -390,22 +390,39 @@ def run_serving_job(
     trace = spec.generate(graph)
     result = ServingSimulator(assignment, config, seed=seed).run(trace)
     if use:
+        meta = {
+            "num_machines": result.num_machines,
+            "duration": result.duration,
+            "makespan": result.makespan,
+            "cache_stats": result.cache_stats,
+        }
+        if result.replicated:
+            # Replication extras ride in the meta doc; a legacy (K=1)
+            # payload's meta bytes are unchanged.
+            meta["replication"] = {
+                "replication_factor": result.replication_factor,
+                "plan_digest": result.plan_digest,
+                "slo_seconds": result.slo_seconds,
+                "crashes": result.crashes,
+                "redispatched": result.redispatched,
+                "unavailable_shed": result.unavailable_shed,
+                "hedges": result.hedges,
+                "hedge_wins": result.hedge_wins,
+                "heartbeat_drops": result.heartbeat_drops,
+                "rereplication_bytes": result.rereplication_bytes,
+                "rereplication_transfers": result.rereplication_transfers,
+                "health_ledger": result.health_ledger,
+                "health_transitions": result.health_transitions,
+                "recovery_seconds": result.recovery_seconds,
+                "state_seconds": result.state_seconds,
+                "restored": result.restored,
+            }
         store.store(
             "servetrace",
             fp,
             key,
             {
-                "meta_json": np.array(
-                    json.dumps(
-                        {
-                            "num_machines": result.num_machines,
-                            "duration": result.duration,
-                            "makespan": result.makespan,
-                            "cache_stats": result.cache_stats,
-                        },
-                        sort_keys=True,
-                    )
-                ),
+                "meta_json": np.array(json.dumps(meta, sort_keys=True)),
                 "latency": result.latency,
                 "shed": result.shed,
                 "kind": result.kind,
@@ -430,6 +447,28 @@ def _serving_from_payload(payload: dict):
     if result is not None:
         return result
     meta = json.loads(str(payload["meta_json"][()]))
+    rep = meta.get("replication")
+    extras = {}
+    if rep is not None:
+        extras = {
+            "replicated": True,
+            "replication_factor": int(rep["replication_factor"]),
+            "plan_digest": str(rep["plan_digest"]),
+            "slo_seconds": float(rep["slo_seconds"]),
+            "crashes": int(rep["crashes"]),
+            "redispatched": int(rep["redispatched"]),
+            "unavailable_shed": int(rep["unavailable_shed"]),
+            "hedges": int(rep["hedges"]),
+            "hedge_wins": int(rep["hedge_wins"]),
+            "heartbeat_drops": int(rep["heartbeat_drops"]),
+            "rereplication_bytes": int(rep["rereplication_bytes"]),
+            "rereplication_transfers": int(rep["rereplication_transfers"]),
+            "health_ledger": list(rep["health_ledger"]),
+            "health_transitions": dict(rep["health_transitions"]),
+            "recovery_seconds": list(rep["recovery_seconds"]),
+            "state_seconds": list(rep["state_seconds"]),
+            "restored": bool(rep["restored"]),
+        }
     result = ServingResult(
         num_machines=int(meta["num_machines"]),
         duration=float(meta["duration"]),
@@ -446,6 +485,7 @@ def _serving_from_payload(payload: dict):
         messages=np.asarray(payload["messages"]),
         cache_stats=dict(meta["cache_stats"]),
         makespan=float(meta["makespan"]),
+        **extras,
     )
     payload["__result__"] = result
     return result

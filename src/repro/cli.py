@@ -229,6 +229,29 @@ def _serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="chaos-plan JSON (path or inline) fired at the serving sites",
     )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="K",
+        help="replicas per partition (K>1 enables health-gated failover "
+        "and deterministic recovery)",
+    )
+    p.add_argument(
+        "--hedge-after",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="hedge a waiting query onto a second replica after this "
+        "latency budget (0 disables; needs --replication > 1)",
+    )
+    p.add_argument(
+        "--slo",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="latency budget defining availability (replicated runs)",
+    )
     p.add_argument("--out", help="write the canonical serving-report/v1 JSON here")
     p.add_argument(
         "--no-cache",
@@ -279,7 +302,11 @@ def _run_serve(argv: list[str]) -> int:
         walk_frac=args.walk_frac,
         seed=args.seed,
     )
-    config = ServingConfig()
+    config = ServingConfig(
+        replication_factor=args.replication,
+        hedge_after=args.hedge_after,
+        slo_seconds=args.slo,
+    )
     report = ServingReport(
         spec,
         config,

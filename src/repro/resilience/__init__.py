@@ -33,7 +33,9 @@ from repro.resilience.chaos import (
     ChaosRule,
     active_plan,
     install_plan,
+    known_sites,
     maybe_inject,
+    register_site,
 )
 from repro.resilience.journal import JsonlJournal
 from repro.resilience.policy import (
@@ -55,6 +57,8 @@ __all__ = [
     "ChaosRule",
     "active_plan",
     "install_plan",
+    "known_sites",
     "maybe_inject",
+    "register_site",
     "JsonlJournal",
 ]

@@ -49,7 +49,9 @@ __all__ = [
     "ChaosPlan",
     "active_plan",
     "install_plan",
+    "known_sites",
     "maybe_inject",
+    "register_site",
 ]
 
 #: environment variable carrying the installed plan's JSON.
@@ -63,6 +65,53 @@ _KINDS = ("exception", "ioerror", "corrupt", "hang", "kill")
 
 class ChaosError(ReproError):
     """The exception raised by an ``exception``-kind injection."""
+
+
+# ---------------------------------------------------------------------------
+# Injection-site registry. Every module that calls maybe_inject() declares
+# its sites at import time via register_site(); ChaosPlan validation then
+# rejects rules naming a site nothing will ever fire — a typo'd plan fails
+# at construction instead of silently never injecting.
+
+_SITES: set[str] = set()
+
+#: modules that own injection sites, imported lazily before a plan is
+#: declared invalid so validation never depends on caller import order.
+_SITE_MODULES = (
+    "repro.bench.artifacts",
+    "repro.bench.runner",
+    "repro.serving.simulator",
+)
+
+
+def register_site(site: str) -> str:
+    """Declare ``site`` as a real injection site; returns the name.
+
+    Idempotent. Call it at module scope next to the constant the module
+    passes to :func:`maybe_inject`, so importing the module is what
+    makes its sites plannable.
+    """
+    if not site or not isinstance(site, str):
+        raise ConfigurationError(f"chaos site name must be a non-empty string, got {site!r}")
+    _SITES.add(site)
+    return site
+
+
+def _ensure_sites_loaded() -> None:
+    """Import the site-owning modules so their registrations land."""
+    import importlib
+
+    for module in _SITE_MODULES:
+        try:
+            importlib.import_module(module)
+        except ImportError:  # pragma: no cover - optional subsystem absent
+            pass
+
+
+def known_sites() -> tuple[str, ...]:
+    """All registered injection sites, sorted."""
+    _ensure_sites_loaded()
+    return tuple(sorted(_SITES))
 
 
 @dataclass(frozen=True)
@@ -120,6 +169,17 @@ class ChaosPlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rules", tuple(self.rules))
+        unknown = sorted({r.site for r in self.rules} - _SITES)
+        if unknown:
+            # Late registrations (modules not yet imported) are the
+            # common false positive — load the site owners first.
+            _ensure_sites_loaded()
+            unknown = sorted({r.site for r in self.rules} - _SITES)
+        if unknown:
+            raise ChaosError(
+                f"chaos plan names unknown injection site(s) {unknown}; "
+                f"known sites: {sorted(_SITES)}"
+            )
 
     def firing_rule(self, site: str, key: str, attempt: int = 1) -> ChaosRule | None:
         """The first rule that fires at ``(site, key, attempt)``, if any."""

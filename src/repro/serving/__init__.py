@@ -12,16 +12,34 @@ a partition-aware block cache (:mod:`~repro.serving.cache`) and
 chaos-injection hooks for degradation drills. Results aggregate into
 byte-stable SLO reports (:mod:`~repro.serving.report`).
 
+Replication turns the layer self-healing: a deterministic replica
+placement (:mod:`~repro.serving.replication`) puts each partition's
+blocks on K machines with anti-affinity and 2D balance, a heartbeat
+state machine (:mod:`~repro.serving.health`) walks failing machines
+through ``healthy → suspect → dead → recovering → healthy``, and the
+simulator fails over, hedges, and re-replicates across the plan.
+
 Everything is deterministic: same seed ⇒ byte-identical report.
 """
 
 from __future__ import annotations
 
 from repro.serving.cache import PartitionAwareCache
+from repro.serving.health import (
+    DEAD,
+    HEALTHY,
+    RECOVERING,
+    SUSPECT,
+    HealthEvent,
+    HealthMonitor,
+)
+from repro.serving.replication import ReplicaPlan, plan_replicas
 from repro.serving.report import ServingReport
 from repro.serving.simulator import (
     SITE_CACHE,
+    SITE_HEARTBEAT_DROP,
     SITE_MACHINE,
+    SITE_REPLICA_CRASH,
     ServingConfig,
     ServingResult,
     ServingSimulator,
@@ -38,6 +56,16 @@ __all__ = [
     "ServingSimulator",
     "ServingResult",
     "ServingReport",
+    "ReplicaPlan",
+    "plan_replicas",
+    "HealthMonitor",
+    "HealthEvent",
+    "HEALTHY",
+    "SUSPECT",
+    "DEAD",
+    "RECOVERING",
     "SITE_MACHINE",
     "SITE_CACHE",
+    "SITE_REPLICA_CRASH",
+    "SITE_HEARTBEAT_DROP",
 ]

@@ -94,6 +94,17 @@ class PartitionAwareCache:
         self.flushes[machine] += 1
         return dropped
 
+    def reset(self, machine: int) -> int:
+        """Cold-start ``machine`` after recovery (not a chaos flush).
+
+        Drops every resident block like :meth:`flush` but does not
+        count toward the ``flushes`` telemetry — a re-replicated
+        machine legitimately starts cold. Returns dropped blocks.
+        """
+        dropped = len(self._blocks[machine])
+        self._blocks[machine].clear()
+        return dropped
+
     def resident_blocks(self, machine: int) -> int:
         """Blocks currently cached on ``machine``."""
         return len(self._blocks[machine])

@@ -81,28 +81,7 @@ class ServingReport:
                 f"expected {REPORT_SCHEMA!r}"
             )
         spec = WorkloadSpec.from_json(json.dumps(doc["workload"]))
-        cfg_doc = dict(doc["config"])
-        cfg_doc.pop("schema", None)
-        cost = cfg_doc.pop("cost")
-        network = cfg_doc.pop("network")
-        from repro.cluster.cost import CostModel
-        from repro.cluster.network import NetworkModel
-
-        cores = cost["cores"]
-        config = ServingConfig(
-            **cfg_doc,
-            cost=CostModel(
-                step_cost=cost["step_cost"],
-                edge_cost=cost["edge_cost"],
-                vertex_cost=cost["vertex_cost"],
-                cores=tuple(cores) if isinstance(cores, list) else cores,
-            ),
-            network=NetworkModel(
-                bandwidth=network["bandwidth"],
-                latency=network["latency"],
-                message_bytes=network["message_bytes"],
-            ),
-        )
+        config = ServingConfig.from_dict(doc["config"])
         report = cls(
             spec,
             config,
@@ -115,31 +94,48 @@ class ServingReport:
 
     # -- rendering -----------------------------------------------------
     def table(self) -> Table:
-        """SLO comparison table, rows in insertion order."""
+        """SLO comparison table, rows in insertion order.
+
+        Latency cells render ``-`` when the run completed nothing (the
+        report stores ``null`` there); an availability column appears
+        when any entry carries one (replicated runs).
+        """
+        with_avail = any("availability" in e for e in self.entries.values())
+        headers = [
+            "partitioner",
+            "p50 ms",
+            "p99 ms",
+            "mean ms",
+            "qps",
+            "shed %",
+            "hit %",
+            "degraded",
+        ]
+        if with_avail:
+            headers.insert(1, "avail %")
         table = Table(
             title=f"serving SLOs — {self.dataset or 'dataset'} × {self.num_parts} machines",
-            headers=(
-                "partitioner",
-                "p50 ms",
-                "p99 ms",
-                "mean ms",
-                "qps",
-                "shed %",
-                "hit %",
-                "degraded",
-            ),
+            headers=tuple(headers),
         )
+
+        def ms(value: float | None) -> str:
+            return "-" if value is None else f"{value * 1e3:.3f}"
+
         for name, e in self.entries.items():
-            table.add_row(
+            row = [
                 name,
-                f"{e['latency_p50'] * 1e3:.3f}",
-                f"{e['latency_p99'] * 1e3:.3f}",
-                f"{e['latency_mean'] * 1e3:.3f}",
-                f"{e['throughput']:.0f}",
+                ms(e["latency_p50"]),
+                ms(e["latency_p99"]),
+                ms(e["latency_mean"]),
+                "-" if e["throughput"] is None else f"{e['throughput']:.0f}",
                 f"{e['shed_rate'] * 100:.2f}",
                 f"{e['cache_hit_rate'] * 100:.1f}",
                 str(e["degraded_batches"] + e["cache_flushes"]),
-            )
+            ]
+            if with_avail:
+                avail = e.get("availability")
+                row.insert(1, "-" if avail is None else f"{avail * 100:.2f}")
+            table.add_row(*row)
         return table
 
     def render(self) -> str:

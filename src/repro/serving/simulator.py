@@ -2,9 +2,9 @@
 
 Drives a :class:`~repro.serving.workload.QueryTrace` against the
 machines of a :class:`~repro.partition.assignment.PartitionAssignment`
-on a virtual clock. Each query is routed to the machine owning its
-target vertex; machines serve FIFO in coalesced batches, so a batch
-pays the network latency once over all its remote reads — the
+on a virtual clock. Each query is routed to a machine holding its
+target vertex's partition; machines serve FIFO in coalesced batches, so
+a batch pays the network latency once over all its remote reads — the
 batching economics real serving systems rely on. Service time per
 batch is costed with the same :class:`~repro.cluster.cost.CostModel`
 and :class:`~repro.cluster.network.NetworkModel` the BSP engines use
@@ -18,11 +18,26 @@ shedding: an arrival finding the queue full is dropped and counted,
 never retried (open-loop users do not back off).
 
 Determinism contract: the event heap orders by ``(time, seq)`` where
-arrival events take seqs ``0..q-1`` in trace order and completion
-events draw from a counter starting at ``q`` — no float tie ever
+arrival events take seqs ``0..q-1`` in trace order and every other
+event draws from a counter starting at ``q`` — no float tie ever
 decides an ordering. Walk randomness derives from
 ``derive_rng(seed, salt, machine, batch)``. Same (assignment, trace,
 config, seed, chaos plan) ⇒ identical :class:`ServingResult`.
+
+**Replication** (``replication_factor > 1``): each partition's blocks
+are placed on K machines by :func:`~repro.serving.replication.
+plan_replicas` (anti-affinity + 2D balance); the router prefers the
+least-loaded *healthy* replica, machine health is tracked by the
+heartbeat state machine of :mod:`~repro.serving.health`, queries
+stranded on a dying machine are re-dispatched to surviving replicas,
+and an optional hedge duplicates a slow query onto a second replica
+after ``hedge_after`` seconds (first response wins, the loser is
+cancelled at batch-build time). A dead machine re-enters through a
+recovery plan: its replicas are re-fetched from the least-loaded
+surviving holders, heaviest partition first, costed as wire bytes.
+With ``replication_factor=1``, no hedging, and no chaos rules at the
+replication sites, the legacy single-owner loop runs unchanged and
+reproduces pre-replication reports byte for byte.
 
 Chaos sites (see :mod:`repro.resilience.chaos`):
 
@@ -31,11 +46,21 @@ Chaos sites (see :mod:`repro.resilience.chaos`):
 - ``serving.cache`` — an injected fault flushes the machine's block
   cache (cache-node restart / corruption), so subsequent batches pay
   cold-start fetches.
+- ``serving.replica.crash`` — keyed ``m{machine}:h{tick}``: the
+  machine fails silently at that heartbeat tick; detection, drain, and
+  recovery all happen through the health state machine.
+- ``serving.heartbeat.drop`` — keyed ``m{machine}:h{tick}``: that
+  heartbeat is lost in transit; enough consecutive drops walk a
+  perfectly healthy machine into ``suspect``/``dead`` (false-positive
+  fencing), which the simulation then repairs like any real crash.
 
-Keys are ``"m{machine}:b{batch}"``; rate-based rules therefore select
-a deterministic subset of batches. Direct ``hang``/``kill`` kinds at
-these sites act on the *host* process (real sleep / exit) — plans
-aimed at the serving layer should use ``exception`` or ``ioerror``.
+Batch keys are ``"m{machine}:b{batch}"``; rate-based rules therefore
+select a deterministic subset of batches (or of machine×tick pairs for
+the replication sites). Crash/drop rules only fire while the arrival
+window is open, so every run terminates. Direct ``hang``/``kill``
+kinds at these sites act on the *host* process (real sleep / exit) —
+plans aimed at the serving layer should use ``exception`` or
+``ioerror``.
 """
 
 from __future__ import annotations
@@ -43,6 +68,8 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import math
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,20 +80,50 @@ from repro.cluster.network import NetworkModel
 from repro.engines.knightking.transition import uniform_neighbor
 from repro.errors import ConfigurationError
 from repro.partition.assignment import PartitionAssignment
-from repro.resilience.chaos import ChaosError, maybe_inject
+from repro.resilience.chaos import ChaosError, active_plan, maybe_inject, register_site
 from repro.serving.cache import PartitionAwareCache
+from repro.serving.health import (
+    DEAD,
+    HEALTHY,
+    RECOVERING,
+    SUSPECT,
+    HealthMonitor,
+)
+from repro.serving.replication import plan_replicas
 from repro.serving.workload import KIND_KHOP, KIND_WALK, QueryTrace
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = ["ServingConfig", "ServingSimulator", "ServingResult"]
 
 SERVING_SCHEMA = "serving/v1"
 
-SITE_MACHINE = "serving.machine"
-SITE_CACHE = "serving.cache"
+SITE_MACHINE = register_site("serving.machine")
+SITE_CACHE = register_site("serving.cache")
+SITE_REPLICA_CRASH = register_site("serving.replica.crash")
+SITE_HEARTBEAT_DROP = register_site("serving.heartbeat.drop")
 
 _SALT_WALK = 0x5EAF
+
+#: replication knobs at their defaults serialise to nothing at all, so
+#: a replication_factor=1 config keeps its pre-replication digest.
+_REPLICATION_DEFAULTS = {
+    "replication_factor": 1,
+    "heartbeat_interval": 0.02,
+    "suspect_after": 2,
+    "dead_after": 4,
+    "restart_delay": 0.1,
+    "replica_slack": 0.5,
+    "hedge_after": 0.0,
+    "slo_seconds": 0.05,
+    "replica_vertex_bytes": 16,
+    "replica_edge_bytes": 8,
+}
+
+
+def _null_if_nan(value: float) -> float | None:
+    """NaN → ``None`` so canonical JSON serialises a real ``null``."""
+    return None if math.isnan(value) else float(value)
 
 
 @dataclass(frozen=True)
@@ -85,6 +142,21 @@ class ServingConfig:
                       chaos hit applies to the afflicted batch.
     cost:             per-machine computation cost model.
     network:          latency/bandwidth wire model.
+
+    Replication/health knobs (all defaulted so that a K=1 config
+    serialises, digests, and behaves exactly as before replication):
+
+    replication_factor:  copies of each partition's blocks (K).
+    heartbeat_interval:  seconds between heartbeat ticks.
+    suspect_after:       missed heartbeats before a machine is drained.
+    dead_after:          missed heartbeats before it is fenced.
+    restart_delay:       seconds from ``dead`` to ``recovering``.
+    replica_slack:       balance slack passed to the replica placer.
+    hedge_after:         seconds before a waiting query is hedged onto
+                         a second replica (0 disables hedging).
+    slo_seconds:         latency budget defining availability.
+    replica_vertex_bytes / replica_edge_bytes:
+                         wire bytes per vertex/arc for re-replication.
     """
 
     queue_limit: int = 64
@@ -95,6 +167,16 @@ class ServingConfig:
     slowdown_factor: float = 4.0
     cost: CostModel = field(default_factory=CostModel)
     network: NetworkModel = field(default_factory=NetworkModel)
+    replication_factor: int = 1
+    heartbeat_interval: float = 0.02
+    suspect_after: int = 2
+    dead_after: int = 4
+    restart_delay: float = 0.1
+    replica_slack: float = 0.5
+    hedge_after: float = 0.0
+    slo_seconds: float = 0.05
+    replica_vertex_bytes: int = 16
+    replica_edge_bytes: int = 8
 
     def __post_init__(self) -> None:
         check_positive("queue_limit", self.queue_limit)
@@ -106,11 +188,45 @@ class ServingConfig:
             raise ConfigurationError(
                 f"slowdown_factor must be >= 1, got {self.slowdown_factor!r}"
             )
+        check_positive("replication_factor", self.replication_factor)
+        check_positive("heartbeat_interval", self.heartbeat_interval)
+        check_positive("restart_delay", self.restart_delay)
+        check_positive("slo_seconds", self.slo_seconds)
+        check_positive("replica_vertex_bytes", self.replica_vertex_bytes)
+        check_positive("replica_edge_bytes", self.replica_edge_bytes)
+        check_nonnegative("hedge_after", self.hedge_after)
+        check_nonnegative("replica_slack", self.replica_slack)
+        if not (1 <= self.suspect_after < self.dead_after):
+            raise ConfigurationError(
+                f"need 1 <= suspect_after < dead_after, got "
+                f"{self.suspect_after}/{self.dead_after}"
+            )
+
+    def replication_dict(self) -> dict:
+        """The replication knobs as a JSON-ready block."""
+        return {
+            "replication_factor": int(self.replication_factor),
+            "heartbeat_interval": float(self.heartbeat_interval),
+            "suspect_after": int(self.suspect_after),
+            "dead_after": int(self.dead_after),
+            "restart_delay": float(self.restart_delay),
+            "replica_slack": float(self.replica_slack),
+            "hedge_after": float(self.hedge_after),
+            "slo_seconds": float(self.slo_seconds),
+            "replica_vertex_bytes": int(self.replica_vertex_bytes),
+            "replica_edge_bytes": int(self.replica_edge_bytes),
+        }
 
     def to_dict(self) -> dict:
-        """JSON-ready form, cost/network knobs inlined."""
+        """JSON-ready form, cost/network knobs inlined.
+
+        The ``replication`` block is emitted only when some knob in it
+        left its default, so pre-replication configs — and their
+        digests, report bytes, and servetrace cache keys — are
+        reproduced exactly.
+        """
         cores = self.cost.cores
-        return {
+        doc = {
             "schema": SERVING_SCHEMA,
             "queue_limit": int(self.queue_limit),
             "batch_max": int(self.batch_max),
@@ -130,6 +246,35 @@ class ServingConfig:
                 "message_bytes": int(self.network.message_bytes),
             },
         }
+        replication = self.replication_dict()
+        if any(replication[k] != v for k, v in _REPLICATION_DEFAULTS.items()):
+            doc["replication"] = replication
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ServingConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        doc = dict(doc)
+        doc.pop("schema", None)
+        cost = doc.pop("cost")
+        network = doc.pop("network")
+        replication = doc.pop("replication", {})
+        cores = cost["cores"]
+        return cls(
+            **doc,
+            **replication,
+            cost=CostModel(
+                step_cost=cost["step_cost"],
+                edge_cost=cost["edge_cost"],
+                vertex_cost=cost["vertex_cost"],
+                cores=tuple(cores) if isinstance(cores, list) else cores,
+            ),
+            network=NetworkModel(
+                bandwidth=network["bandwidth"],
+                latency=network["latency"],
+                message_bytes=network["message_bytes"],
+            ),
+        )
 
     def digest(self) -> str:
         """SHA-256 of the canonical ``serving/v1`` JSON."""
@@ -143,6 +288,10 @@ class ServingResult:
 
     Per-query arrays align with the trace; ``latency`` is NaN for shed
     queries. Per-machine arrays have one entry per cluster machine.
+    In a replicated run ``machine_of_query`` records the machine that
+    actually completed the query (the owner for shed queries); the
+    ``replicated`` flag gates the replication block of
+    :meth:`summary` so legacy summaries stay byte-identical.
     """
 
     num_machines: int
@@ -160,6 +309,23 @@ class ServingResult:
     messages: np.ndarray  # int64 remote reads issued per machine
     cache_stats: dict
     makespan: float
+    replicated: bool = False
+    replication_factor: int = 1
+    plan_digest: str = ""
+    slo_seconds: float = 0.0
+    crashes: int = 0
+    redispatched: int = 0
+    unavailable_shed: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    heartbeat_drops: int = 0
+    rereplication_bytes: int = 0
+    rereplication_transfers: int = 0
+    health_ledger: list = field(default_factory=list)  # [time, m, old, new, cause]
+    health_transitions: dict = field(default_factory=dict)
+    recovery_seconds: list = field(default_factory=list)
+    state_seconds: list = field(default_factory=list)  # per machine {state: s}
+    restored: bool = True
 
     @property
     def num_queries(self) -> int:
@@ -178,8 +344,23 @@ class ServingResult:
 
     @property
     def throughput(self) -> float:
-        """Completed queries per simulated second of offered traffic."""
+        """Completed queries per simulated second (NaN if none completed)."""
+        if self.completed == 0:
+            return float("nan")
         return self.completed / self.duration if self.duration else 0.0
+
+    def availability(self, slo: float | None = None) -> float:
+        """Fraction of *arrivals* answered within the SLO budget.
+
+        Shed queries count against availability; so do completions
+        slower than ``slo`` (default: the config's ``slo_seconds``).
+        """
+        budget = self.slo_seconds if slo is None else float(slo)
+        if self.num_queries == 0:
+            return 0.0
+        with np.errstate(invalid="ignore"):
+            ok = np.count_nonzero(self.latency <= budget)
+        return float(ok / self.num_queries)
 
     def completed_latencies(self) -> np.ndarray:
         """Sorted latencies of completed queries."""
@@ -187,33 +368,44 @@ class ServingResult:
         return np.sort(lat)
 
     def latency_quantile(self, q: float) -> float:
-        """Nearest-rank quantile of completed latencies (0.0 if none)."""
+        """Nearest-rank quantile of completed latencies (NaN if none).
+
+        A total-shed drill completes nothing; the NaN sentinel (rather
+        than a raise or a fake 0.0) serialises as ``null`` in the
+        canonical report.
+        """
         if not (0.0 < q <= 1.0):
             raise ConfigurationError(f"quantile must be in (0, 1], got {q!r}")
         lat = self.completed_latencies()
         if lat.size == 0:
-            return 0.0
+            return float("nan")
         rank = max(0, int(np.ceil(q * lat.size)) - 1)
         return float(lat[rank])
 
     def mean_latency(self) -> float:
-        """Mean completed latency (0.0 if nothing completed)."""
+        """Mean completed latency (NaN if nothing completed)."""
         lat = self.completed_latencies()
-        return float(lat.mean()) if lat.size else 0.0
+        return float(lat.mean()) if lat.size else float("nan")
 
     def summary(self) -> dict:
-        """JSON-ready SLO summary (deterministic, byte-stable)."""
-        return {
+        """JSON-ready SLO summary (deterministic, byte-stable).
+
+        All-shed runs serialise their undefined latency/throughput
+        fields as ``null``. Replicated runs append an ``availability``
+        scalar and a ``replication`` block; legacy runs emit exactly
+        the pre-replication key set.
+        """
+        doc = {
             "queries": self.num_queries,
             "completed": self.completed,
             "shed": int(self.shed.sum()),
             "shed_rate": self.shed_rate,
-            "throughput": self.throughput,
-            "latency_p50": self.latency_quantile(0.50),
-            "latency_p90": self.latency_quantile(0.90),
-            "latency_p99": self.latency_quantile(0.99),
-            "latency_mean": self.mean_latency(),
-            "latency_max": float(self.completed_latencies()[-1]) if self.completed else 0.0,
+            "throughput": _null_if_nan(self.throughput),
+            "latency_p50": _null_if_nan(self.latency_quantile(0.50)),
+            "latency_p90": _null_if_nan(self.latency_quantile(0.90)),
+            "latency_p99": _null_if_nan(self.latency_quantile(0.99)),
+            "latency_mean": _null_if_nan(self.mean_latency()),
+            "latency_max": float(self.completed_latencies()[-1]) if self.completed else None,
             "makespan": self.makespan,
             "messages": int(self.messages.sum()),
             "batches": int(self.batches.sum()),
@@ -223,6 +415,25 @@ class ServingResult:
             "busy_max": float(self.busy_seconds.max()) if self.num_machines else 0.0,
             "busy_mean": float(self.busy_seconds.mean()) if self.num_machines else 0.0,
         }
+        if self.replicated:
+            doc["availability"] = self.availability()
+            doc["replication"] = {
+                "factor": int(self.replication_factor),
+                "plan_digest": self.plan_digest,
+                "slo_seconds": float(self.slo_seconds),
+                "crashes": int(self.crashes),
+                "redispatched": int(self.redispatched),
+                "unavailable_shed": int(self.unavailable_shed),
+                "hedges": int(self.hedges),
+                "hedge_wins": int(self.hedge_wins),
+                "heartbeat_drops": int(self.heartbeat_drops),
+                "rereplication_bytes": int(self.rereplication_bytes),
+                "rereplication_transfers": int(self.rereplication_transfers),
+                "transitions": dict(self.health_transitions),
+                "recovery_seconds": [round(float(s), 9) for s in self.recovery_seconds],
+                "restored": bool(self.restored),
+            }
+        return doc
 
 
 class ServingSimulator:
@@ -241,19 +452,43 @@ class ServingSimulator:
 
     # ------------------------------------------------------------------
     def run(self, trace: QueryTrace) -> ServingResult:
-        """Serve the whole trace; returns the deterministic result."""
+        """Serve the whole trace; returns the deterministic result.
+
+        Dispatches to the replicated event loop only when something
+        actually asks for it — K > 1, hedging on, or a chaos plan with
+        rules at the replication sites. Otherwise the legacy
+        single-owner loop runs, bit-identical to pre-replication.
+        """
         cfg = self.config
-        graph = self.assignment.graph
+        plan = active_plan()
+        plan_sites = {rule.site for rule in plan.rules} if plan is not None else set()
+        replicated = (
+            cfg.replication_factor > 1
+            or cfg.hedge_after > 0.0
+            or bool(plan_sites & {SITE_REPLICA_CRASH, SITE_HEARTBEAT_DROP})
+        )
+        if replicated:
+            return self._run_replicated(trace)
+        return self._run_simple(trace)
+
+    # ------------------------------------------------------------------
+    def _check_trace(self, trace: QueryTrace) -> None:
+        if trace.vertex.size and int(trace.vertex.max()) >= self.assignment.graph.num_vertices:
+            raise ConfigurationError(
+                "trace targets vertices outside the assigned graph"
+            )
+
+    # ------------------------------------------------------------------
+    def _run_simple(self, trace: QueryTrace) -> ServingResult:
+        """The legacy single-owner loop (machine == partition)."""
+        cfg = self.config
         parts = self.assignment.parts
         k = self.assignment.num_parts
         times = trace.times
         vertex = trace.vertex
         kinds = trace.kind
         q = trace.num_queries
-        if vertex.size and int(vertex.max()) >= graph.num_vertices:
-            raise ConfigurationError(
-                "trace targets vertices outside the assigned graph"
-            )
+        self._check_trace(trace)
 
         machine_of_query = parts[vertex].astype(np.int64)
         self._trace = trace
@@ -298,7 +533,14 @@ class ServingSimulator:
                 del queue[m][: head[m]]
                 head[m] = 0
             svc = self._serve_batch(
-                m, batch, batch_seq[m], cache, messages, degraded, flushes
+                m,
+                batch,
+                batch_seq[m],
+                np.full(len(batch), m, dtype=np.int64),
+                cache,
+                messages,
+                degraded,
+                flushes,
             )
             batch_seq[m] += 1
             batches[m] += 1
@@ -353,17 +595,348 @@ class ServingSimulator:
         return result
 
     # ------------------------------------------------------------------
+    def _run_replicated(self, trace: QueryTrace) -> ServingResult:
+        """Replicated serving: health-gated failover, hedging, recovery."""
+        cfg = self.config
+        parts = self.assignment.parts
+        k = self.assignment.num_parts
+        times = trace.times
+        vertex = trace.vertex
+        kinds = trace.kind
+        q = trace.num_queries
+        self._check_trace(trace)
+        if q == 0:
+            raise ConfigurationError("cannot serve an empty trace")
+
+        plan = plan_replicas(
+            self.assignment, cfg.replication_factor, slack=cfg.replica_slack
+        )
+        monitor = HealthMonitor(
+            k,
+            heartbeat_interval=cfg.heartbeat_interval,
+            suspect_after=cfg.suspect_after,
+            dead_after=cfg.dead_after,
+        )
+        part_of_query = parts[vertex].astype(np.int64)
+        machine_of_query = part_of_query.copy()
+        self._trace = trace
+        cache = PartitionAwareCache(
+            k, block_size=cfg.cache_block_size, capacity=cfg.cache_blocks
+        )
+        part_v = self.assignment.vertex_counts.astype(np.int64)
+        part_e = self.assignment.edge_counts.astype(np.int64)
+
+        latency = np.full(q, np.nan, dtype=np.float64)
+        shed = np.zeros(q, dtype=bool)
+        queries = np.zeros(k, dtype=np.int64)
+        shed_pm = np.zeros(k, dtype=np.int64)
+        batches = np.zeros(k, dtype=np.int64)
+        degraded = np.zeros(k, dtype=np.int64)
+        flushes = np.zeros(k, dtype=np.int64)
+        busy_sec = np.zeros(k, dtype=np.float64)
+        messages = np.zeros(k, dtype=np.int64)
+
+        queue: list[list[int]] = [[] for _ in range(k)]
+        head = [0] * k
+        busy = [False] * k
+        inflight: list[list[int]] = [[] for _ in range(k)]
+        batch_seq = [0] * k
+        epoch = [0] * k
+        crashed = [False] * k
+        pending_transfers: list[deque] = [deque() for _ in range(k)]
+        copies: dict[int, list[int]] = {}
+        hedge_machine: dict[int, int] = {}
+        makespan = 0.0
+        crashes = redispatched = unavailable = hedges = hedge_wins = 0
+        hb_drops = rerepl_bytes = rerepl_transfers = 0
+        hedging = cfg.hedge_after > 0.0 and cfg.replication_factor > 1
+        last_arrival = float(times[-1])
+        hb = cfg.heartbeat_interval
+
+        # Event codes: total order is (time, seq); arrivals own seqs
+        # 0..q-1, everything else draws from next_seq.
+        ET_ARRIVE, ET_DONE, ET_TICK, ET_RESTART, ET_TRANSFER, ET_HEDGE = range(6)
+        heap: list[tuple[float, int, int, int, int]] = [
+            (float(times[i]), i, ET_ARRIVE, i, 0) for i in range(q)
+        ]
+        heapq.heapify(heap)
+        next_seq = q
+
+        def push(time: float, code: int, a: int, b: int = 0) -> None:
+            nonlocal next_seq
+            heapq.heappush(heap, (time, next_seq, code, a, b))
+            next_seq += 1
+
+        def backlog(m: int) -> int:
+            return len(queue[m]) - head[m]
+
+        def route(p: int, exclude: tuple[int, ...] | list[int] = ()) -> list[int]:
+            """Healthy holders of ``p``, least-loaded first.
+
+            Ties prefer the primary (its cache is warmest for ``p``),
+            then ascending machine id — deterministic either way.
+            """
+            primary = plan.holders[p][0]
+            return sorted(
+                (
+                    m
+                    for m in plan.holders[p]
+                    if monitor.routable(m) and m not in exclude
+                ),
+                key=lambda m: (backlog(m) + (1 if busy[m] else 0), m != primary, m),
+            )
+
+        def start_batch(m: int, now: float) -> None:
+            nonlocal makespan
+            if crashed[m]:
+                # A crashed machine answers nothing; arrivals the router
+                # still sends it (detection gap) wait in its queue until
+                # the drain re-dispatches them.
+                return
+            batch = []
+            # Hedge losers cancel here: a query another replica already
+            # answered is skipped before it costs any service time.
+            while len(batch) < cfg.batch_max and head[m] < len(queue[m]):
+                qi = queue[m][head[m]]
+                head[m] += 1
+                if math.isnan(latency[qi]):
+                    batch.append(qi)
+            if head[m] > 4096 and head[m] * 2 > len(queue[m]):
+                del queue[m][: head[m]]
+                head[m] = 0
+            if not batch:
+                busy[m] = False
+                return
+            homes = part_of_query[np.asarray(batch, dtype=np.int64)]
+            svc = self._serve_batch(
+                m, batch, batch_seq[m], homes, cache, messages, degraded, flushes
+            )
+            batch_seq[m] += 1
+            batches[m] += 1
+            busy_sec[m] += svc
+            busy[m] = True
+            inflight[m] = batch
+            done = now + svc
+            makespan = max(makespan, done)
+            push(done, ET_DONE, m, epoch[m])
+
+        def admit(qi: int, now: float, exclude: list[int]) -> bool:
+            """Enqueue ``qi`` on the best healthy replica; False = shed."""
+            nonlocal unavailable
+            p = int(part_of_query[qi])
+            candidates = route(p, exclude=exclude)
+            if not candidates:
+                shed[qi] = True
+                shed_pm[p] += 1
+                unavailable += 1
+                return False
+            for m in candidates:
+                if backlog(m) < cfg.queue_limit:
+                    queue[m].append(qi)
+                    queries[m] += 1
+                    copies.setdefault(qi, []).append(m)
+                    if not busy[m]:
+                        start_batch(m, now)
+                    return True
+            shed[qi] = True
+            shed_pm[candidates[0]] += 1
+            return False
+
+        def redispatch(m: int, now: float, qis: list[int]) -> None:
+            """Move a dying machine's stranded queries to survivors."""
+            nonlocal redispatched
+            for qi in qis:
+                if not math.isnan(latency[qi]) or shed[qi]:
+                    continue
+                if admit(qi, now, exclude=[m]):
+                    redispatched += 1
+
+        def drain(m: int, now: float) -> None:
+            """Suspect/dead: stop routing; move waiting (and, for a
+            crashed or fenced machine, in-flight) work elsewhere."""
+            waiting = [qi for qi in queue[m][head[m] :]]
+            queue[m] = []
+            head[m] = 0
+            stranded = list(waiting)
+            if crashed[m] or monitor.state[m] == DEAD:
+                # The in-flight batch is lost (crash) or fenced (false
+                # positive gone dead): cancel its completion event.
+                epoch[m] += 1
+                stranded = inflight[m] + stranded
+                inflight[m] = []
+                busy[m] = False
+            redispatch(m, now, stranded)
+
+        def begin_recovery(m: int, now: float) -> None:
+            """dead → recovering: schedule the re-replication chain.
+
+            Heaviest partition first; each transfer is sourced from the
+            least-loaded healthy holder (the heaviest-chunk →
+            lightest-survivor matching of the fault planners), or from
+            cold storage when no replica survives, and costed as wire
+            bytes through the shared request_cost formula.
+            """
+            monitor.transition(m, now, RECOVERING, "restart")
+            owned = sorted(
+                plan.partitions_of(m),
+                key=lambda p: (-(int(part_v[p]) + int(part_e[p])), p),
+            )
+            t = now
+            for p in owned:
+                nbytes = int(part_v[p]) * cfg.replica_vertex_bytes + int(
+                    part_e[p]
+                ) * cfg.replica_edge_bytes
+                seconds = float(cfg.network.request_cost(nbytes, 1.0))
+                t += seconds
+                pending_transfers[m].append(nbytes)
+                push(t, ET_TRANSFER, m)
+
+        push(hb, ET_TICK, 1)
+
+        while heap:
+            now, _, code, a, b = heapq.heappop(heap)
+            if code == ET_ARRIVE:
+                admit(a, now, exclude=[])
+                if hedging and not shed[a]:
+                    push(now + cfg.hedge_after, ET_HEDGE, a)
+            elif code == ET_DONE:
+                m = a
+                if b != epoch[m]:
+                    continue  # cancelled: the machine crashed/was fenced
+                for qi in inflight[m]:
+                    if math.isnan(latency[qi]):
+                        latency[qi] = now - float(times[qi])
+                        machine_of_query[qi] = m
+                        if hedge_machine.get(qi) == m:
+                            hedge_wins += 1
+                inflight[m] = []
+                busy[m] = False
+                start_batch(m, now)
+            elif code == ET_TICK:
+                j = a
+                in_window = now <= last_arrival
+                for m in range(k):
+                    state = monitor.state[m]
+                    if state in (DEAD, RECOVERING):
+                        continue
+                    if not crashed[m] and in_window:
+                        try:
+                            maybe_inject(SITE_REPLICA_CRASH, f"m{m}:h{j}")
+                        except (ChaosError, OSError):
+                            crashed[m] = True
+                            epoch[m] += 1
+                            crashes += 1
+                    if crashed[m]:
+                        continue  # a crashed machine emits nothing
+                    dropped = False
+                    if in_window:
+                        try:
+                            maybe_inject(SITE_HEARTBEAT_DROP, f"m{m}:h{j}")
+                        except (ChaosError, OSError):
+                            dropped = True
+                            hb_drops += 1
+                    if not dropped:
+                        monitor.beat(m, now)
+                for m in range(k):
+                    change = monitor.check(m, now)
+                    if change == SUSPECT:
+                        drain(m, now)
+                    elif change == DEAD:
+                        drain(m, now)
+                        push(now + cfg.restart_delay, ET_RESTART, m)
+                pending = any(backlog(m) > 0 or busy[m] for m in range(k))
+                if in_window or pending or not monitor.all_healthy():
+                    push((j + 1) * hb, ET_TICK, j + 1)
+            elif code == ET_RESTART:
+                begin_recovery(a, now)
+            elif code == ET_TRANSFER:
+                m = a
+                rerepl_bytes += pending_transfers[m].popleft()
+                rerepl_transfers += 1
+                makespan = max(makespan, now)
+                if not pending_transfers[m]:
+                    # Re-replication complete: readmit with a cold cache.
+                    cache.reset(m)
+                    crashed[m] = False
+                    monitor.last_beat[m] = now
+                    monitor.transition(m, now, HEALTHY, "rereplicated")
+            elif code == ET_HEDGE:
+                qi = a
+                if not math.isnan(latency[qi]) or shed[qi]:
+                    continue
+                p = int(part_of_query[qi])
+                for m in route(p, exclude=copies.get(qi, [])):
+                    if backlog(m) < cfg.queue_limit:
+                        queue[m].append(qi)
+                        queries[m] += 1
+                        copies.setdefault(qi, []).append(m)
+                        hedge_machine[qi] = m
+                        hedges += 1
+                        if not busy[m]:
+                            start_batch(m, now)
+                        break
+
+        end = max(makespan, float(last_arrival))
+        if monitor.ledger:
+            end = max(end, monitor.ledger[-1].time)
+        monitor.finish(end)
+
+        result = ServingResult(
+            num_machines=k,
+            duration=float(trace.spec.duration),
+            latency=latency,
+            shed=shed,
+            kind=kinds.copy(),
+            machine_of_query=machine_of_query,
+            queries=queries,
+            shed_per_machine=shed_pm,
+            batches=batches,
+            degraded_batches=degraded,
+            cache_flushes=flushes,
+            busy_seconds=busy_sec,
+            messages=messages,
+            cache_stats=cache.stats(),
+            makespan=float(makespan),
+            replicated=True,
+            replication_factor=int(cfg.replication_factor),
+            plan_digest=plan.digest(),
+            slo_seconds=float(cfg.slo_seconds),
+            crashes=crashes,
+            redispatched=redispatched,
+            unavailable_shed=unavailable,
+            hedges=hedges,
+            hedge_wins=hedge_wins,
+            heartbeat_drops=hb_drops,
+            rereplication_bytes=int(rerepl_bytes),
+            rereplication_transfers=int(rerepl_transfers),
+            health_ledger=monitor.ledger_rows(),
+            health_transitions=monitor.transition_counts(),
+            recovery_seconds=monitor.recovery_seconds(),
+            state_seconds=[dict(s) for s in monitor.state_seconds],
+            restored=monitor.all_healthy(),
+        )
+        self._record_telemetry(result)
+        return result
+
+    # ------------------------------------------------------------------
     def _serve_batch(
         self,
         m: int,
         batch: list[int],
         batch_id: int,
+        homes: np.ndarray,
         cache: PartitionAwareCache,
         messages: np.ndarray,
         degraded: np.ndarray,
         flushes: np.ndarray,
     ) -> float:
-        """Service seconds for one batch, with side-effect accounting."""
+        """Service seconds for one batch, with side-effect accounting.
+
+        ``homes`` carries each query's home partition — in the legacy
+        loop that is uniformly the serving machine, under replication a
+        batch may mix partitions and remote reads are counted against
+        each query's own partition (the data the replica holds locally).
+        """
         cfg = self.config
         graph = self.assignment.graph
         parts = self.assignment.parts
@@ -379,7 +952,8 @@ class ServingSimulator:
         # k-hop neighbourhood reads: hop-1 scans the full adjacency
         # (edge-balance shows up as work), message/cache/hop-2 effects
         # use a deterministic capped prefix of the neighbour list.
-        for v in verts[kinds == KIND_KHOP].tolist():
+        khop_mask = kinds == KIND_KHOP
+        for v, home in zip(verts[khop_mask].tolist(), homes[khop_mask].tolist()):
             deg = int(graph.degrees[v])
             edge_work += deg
             if deg == 0:
@@ -389,7 +963,7 @@ class ServingSimulator:
             nbrs = graph.take_arcs(np.arange(start, start + span, dtype=np.int64)).astype(
                 np.int64
             )
-            remote += int(np.count_nonzero(parts[nbrs] != m))
+            remote += int(np.count_nonzero(parts[nbrs] != home))
             if trace.spec.khop == 2:
                 edge_work += float(graph.degrees[nbrs].sum())
             touched.append(nbrs)
@@ -397,18 +971,21 @@ class ServingSimulator:
         # walk queries: advance KnightKing-style uniform transitions,
         # vectorised across the batch's walkers, RNG derived per
         # (seed, machine, batch) so runs replay bit-identically.
-        walk_pos = verts[kinds == KIND_WALK]
+        walk_mask = kinds == KIND_WALK
+        walk_pos = verts[walk_mask]
         if walk_pos.size:
             wrng = derive_rng(self.seed, _SALT_WALK, m, batch_id)
             positions = walk_pos.copy()
+            walk_homes = homes[walk_mask].copy()
             for _ in range(trace.spec.walk_steps):
                 targets, dead = uniform_neighbor(graph, positions, wrng)
                 alive = ~dead
                 if not alive.any():
                     break
                 positions = targets[alive]
+                walk_homes = walk_homes[alive]
                 step_work += float(positions.size)
-                remote += int(np.count_nonzero(parts[positions] != m))
+                remote += int(np.count_nonzero(parts[positions] != walk_homes))
                 touched.append(positions)
 
         fetched = cache.touch(m, np.concatenate(touched))
@@ -454,3 +1031,27 @@ class ServingSimulator:
         hist = reg.bounded_histogram("serving.latency_seconds")
         for value in result.completed_latencies().tolist():
             hist.observe(value)
+        if not result.replicated:
+            return
+        reg.counter("serving.replica.crashes").inc(result.crashes)
+        reg.counter("serving.replica.redispatched").inc(result.redispatched)
+        reg.counter("serving.replica.unavailable_shed").inc(result.unavailable_shed)
+        reg.counter("serving.replica.hedges").inc(result.hedges)
+        reg.counter("serving.replica.hedge_wins").inc(result.hedge_wins)
+        reg.counter("serving.replica.rereplication_bytes").inc(
+            result.rereplication_bytes
+        )
+        reg.counter("serving.replica.rereplication_transfers").inc(
+            result.rereplication_transfers
+        )
+        reg.counter("serving.health.heartbeat_drops").inc(result.heartbeat_drops)
+        for key, count in result.health_transitions.items():
+            old, new = key.split("->")
+            reg.counter("serving.health.transitions", old=old, new=new).inc(count)
+        for per_machine in result.state_seconds:
+            for state, seconds in per_machine.items():
+                if seconds > 0.0:
+                    reg.bounded_histogram(
+                        "serving.health.state_seconds", state=state
+                    ).observe(seconds)
+        reg.gauge("serving.availability").set(result.availability())

@@ -106,3 +106,78 @@ class TestServingSloExperiment:
         assert json.dumps(result.to_dict(), sort_keys=True) == json.dumps(
             again.to_dict(), sort_keys=True
         )
+
+
+class TestReplicatedServetrace:
+    def test_replicated_result_survives_disk_replay(self, graph, assignment, spec):
+        from repro.serving import SITE_REPLICA_CRASH
+
+        config = ServingConfig(replication_factor=2)
+        plan = ChaosPlan(
+            seed=7,
+            rules=(
+                ChaosRule(
+                    site=SITE_REPLICA_CRASH, kind="exception", match="m1:h5", rate=1.0
+                ),
+            ),
+        )
+        install_plan(plan)
+        try:
+            fresh = run_serving_job(graph, assignment, spec=spec, config=config, seed=2)
+            artifacts.reset_store()  # force the reload from disk
+            cached = run_serving_job(graph, assignment, spec=spec, config=config, seed=2)
+        finally:
+            install_plan(None)
+        assert fresh.replicated and cached.replicated
+        assert cached.summary() == fresh.summary()
+        assert cached.health_ledger == fresh.health_ledger
+        assert cached.plan_digest == fresh.plan_digest
+        np.testing.assert_array_equal(cached.latency, fresh.latency)
+
+    def test_replication_factor_changes_the_cache_key(self, graph, assignment, spec):
+        k1 = run_serving_job(graph, assignment, spec=spec, seed=2)
+        k2 = run_serving_job(
+            graph,
+            assignment,
+            spec=spec,
+            config=ServingConfig(replication_factor=2),
+            seed=2,
+        )
+        assert not k1.replicated and k2.replicated
+        assert "availability" in k2.summary()
+        assert "availability" not in k1.summary()
+
+
+class TestServingAvailabilityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("serving_availability", ExperimentConfig(scale=0.1, seed=1))
+
+    def test_k2_beats_k1_and_factor_restores(self, result):
+        k1 = result.data[("report", "k1")]["entries"]["bpart"]
+        k2 = result.data[("report", "k2")]["entries"]["bpart"]
+        k3 = result.data[("report", "k3")]["entries"]["bpart"]
+        assert k2["availability"] > k1["availability"]
+        assert k3["availability"] >= k2["availability"]
+        for entry in (k1, k2, k3):
+            rep = entry["replication"]
+            assert rep["crashes"] == 1
+            assert rep["restored"] is True
+            assert rep["transitions"]["dead->recovering"] == 1
+            assert rep["transitions"]["recovering->healthy"] == 1
+            assert rep["rereplication_bytes"] > 0
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "availability vs replication" in text
+        assert "hedged requests" in text
+
+    def test_deterministic_across_runs(self, result):
+        import json
+
+        again = run_experiment(
+            "serving_availability", ExperimentConfig(scale=0.1, seed=1)
+        )
+        assert json.dumps(result.to_dict(), sort_keys=True) == json.dumps(
+            again.to_dict(), sort_keys=True
+        )

@@ -14,9 +14,16 @@ from repro.resilience import (
     ChaosRule,
     active_plan,
     install_plan,
+    known_sites,
     maybe_inject,
+    register_site,
 )
 from repro.resilience.chaos import CHAOS_ENV
+
+# Plans validate their sites against the registry; the ad-hoc site
+# names these tests use have to be declared like any real site.
+for _site in ("s", "a", "b", "boom", "disk", "store", "slow"):
+    register_site(_site)
 
 
 class TestChaosRule:
@@ -77,6 +84,33 @@ class TestChaosPlan:
     def test_from_json_rejects_garbage(self, text):
         with pytest.raises(ConfigurationError):
             ChaosPlan.from_json(text)
+
+
+class TestSiteRegistry:
+    def test_known_sites_contains_registered_and_builtin(self):
+        sites = known_sites()
+        assert "s" in sites  # registered at module import above
+        assert "artifacts.load" in sites
+        assert "runner.worker" in sites
+        assert "serving.machine" in sites
+        assert "serving.replica.crash" in sites
+        assert "serving.heartbeat.drop" in sites
+        assert list(sites) == sorted(sites)
+
+    def test_unknown_site_is_rejected_at_plan_construction(self):
+        with pytest.raises(ChaosError, match="unknown injection site"):
+            ChaosPlan(rules=[ChaosRule(site="no.such.site", kind="exception")])
+
+    def test_register_site_returns_name_and_rejects_garbage(self):
+        assert register_site("tests.extra") == "tests.extra"
+        assert "tests.extra" in known_sites()
+        with pytest.raises(ConfigurationError):
+            register_site("")
+
+    def test_registered_site_plans_validate(self):
+        register_site("tests.fresh")
+        plan = ChaosPlan(rules=[ChaosRule(site="tests.fresh", kind="exception")])
+        assert ChaosPlan.from_json(plan.to_json()) == plan
 
 
 class TestInstallAndInject:

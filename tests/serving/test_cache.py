@@ -90,3 +90,111 @@ def test_stats_shape():
         "flushes": 0,
         "hit_rate": 0.25,
     }
+
+
+def test_reset_clears_without_counting_a_flush():
+    cache = PartitionAwareCache(2, block_size=1, capacity=8)
+    cache.touch(0, np.array([1, 2, 3]))
+    assert cache.reset(0) == 3
+    assert cache.resident_blocks(0) == 0
+    assert cache.flushes[0] == 0  # recovery cold-start, not chaos
+    assert cache.touch(0, np.array([1])) == 1  # cold again
+
+
+# --- property-based: LRU invariants under interleaved chaos ----------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+# An op stream mixing batch touches, chaos flushes, and recovery
+# resets — the exact interleaving the replicated simulator produces
+# around a failover (flush on serving.cache chaos, reset after
+# re-replication).
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("touch"),
+            st.integers(0, 1),
+            st.lists(st.integers(0, 199), min_size=1, max_size=12),
+        ),
+        st.tuples(st.just("flush"), st.integers(0, 1)),
+        st.tuples(st.just("reset"), st.integers(0, 1)),
+    ),
+    max_size=60,
+)
+
+
+def _apply(ops, *, block_size=4, capacity=6):
+    cache = PartitionAwareCache(2, block_size=block_size, capacity=capacity)
+    observed = []
+    for op in ops:
+        if op[0] == "touch":
+            observed.append(cache.touch(op[1], np.asarray(op[2], dtype=np.int64)))
+        elif op[0] == "flush":
+            observed.append(cache.flush(op[1]))
+        else:
+            observed.append(cache.reset(op[1]))
+    return cache, observed
+
+
+class TestCacheProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=_OPS)
+    def test_size_bound_holds_under_any_interleaving(self, ops):
+        cache, _ = _apply(ops)
+        for m in (0, 1):
+            assert 0 <= cache.resident_blocks(m) <= cache.capacity
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=_OPS, extra=st.integers(0, 199))
+    def test_hit_after_insert_within_capacity(self, ops, extra):
+        cache, _ = _apply(ops)
+        # touching a vertex makes its block resident: an immediate
+        # re-touch of the same vertex is always a hit.
+        cache.touch(0, np.array([extra]))
+        hits_before = int(cache.hits[0])
+        fetched = cache.touch(0, np.array([extra]))
+        assert fetched == 0
+        assert int(cache.hits[0]) == hits_before + 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=_OPS)
+    def test_eviction_order_is_lru(self, ops):
+        # Reference model: an ordered list with move-to-end on hit,
+        # evict-from-front on overflow, per machine.
+        cache, _ = _apply(ops)
+        model = [[], []]
+        for op in ops:
+            if op[0] == "touch":
+                m = op[1]
+                blocks = sorted(set(v // cache.block_size for v in op[2]))
+                for b in blocks:
+                    if b in model[m]:
+                        model[m].remove(b)
+                    model[m].append(b)
+                while len(model[m]) > cache.capacity:
+                    model[m].pop(0)
+            else:
+                model[op[1]] = []
+        for m in (0, 1):
+            assert list(cache._blocks[m]) == model[m]
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_same_op_stream_gives_identical_counter_sequences(self, ops):
+        cache_a, seq_a = _apply(ops)
+        cache_b, seq_b = _apply(ops)
+        assert seq_a == seq_b
+        assert cache_a.stats() == cache_b.stats()
+        assert cache_a.hits.tolist() == cache_b.hits.tolist()
+        assert cache_a.evictions.tolist() == cache_b.evictions.tolist()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_stats_are_consistent(self, ops):
+        cache, observed = _apply(ops)
+        stats = cache.stats()
+        touches = [o for op, o in zip(ops, observed) if op[0] == "touch"]
+        assert stats["miss_blocks"] == sum(touches)
+        total = stats["hits"] + stats["misses"]
+        assert stats["hit_rate"] == (stats["hits"] / total if total else 0.0)
